@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 11 reproduction: Equalizer's adaptiveness.
+ *
+ * 11a: bfs-2 across invocations — Equalizer's per-invocation time and
+ *      block choices versus static 1/2/3 blocks and the optimal.
+ * 11b: spmv within an invocation — granted warps and waiting warps over
+ *      time under Equalizer versus DynCTA (Equalizer re-grows
+ *      concurrency when the phase changes; DynCTA does not).
+ */
+
+#include "bench_util.hh"
+
+#include "equalizer/equalizer.hh"
+#include "equalizer/monitor.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    // ------------------------------------------------------------ 11a
+    banner("Figure 11a: bfs-2 per-invocation time — Equalizer vs static "
+           "block counts (normalized to the 3-block total)");
+    const auto &bfs = KernelZoo::byName("bfs-2");
+    progress("fig11a bfs-2");
+    const auto b1 = runner.run(bfs.params, policies::staticBlocks(1));
+    const auto b3 = runner.run(bfs.params, policies::staticBlocks(3));
+
+    // Equalizer with frequency changes disabled would isolate the block
+    // effect; the paper does the same. We approximate by reporting the
+    // energy-mode block trace but performance numbers from a run with
+    // hysteresis identical to the shipping config.
+    std::vector<double> mean_blocks_per_epoch;
+    EqualizerConfig cfg;
+    cfg.mode = EqualizerMode::Performance;
+    const auto eq = runner.run(
+        bfs.params, policies::equalizer(cfg.mode, cfg),
+        [&mean_blocks_per_epoch](GpuTop &, GpuController *ctrl) {
+            auto *engine = dynamic_cast<EqualizerEngine *>(ctrl);
+            engine->setEpochTrace(
+                [&mean_blocks_per_epoch](const EqualizerEpochRecord &r) {
+                    mean_blocks_per_epoch.push_back(r.meanTargetBlocks);
+                });
+        });
+
+    const double norm = b3.total.seconds;
+    TablePrinter t({"invocation", "1 block", "3 blocks", "equalizer",
+                    "optimal"});
+    double opt_total = 0.0;
+    double eq_total = 0.0;
+    for (std::size_t i = 0; i < b3.invocations.size(); ++i) {
+        const double t1 = b1.invocations[i].seconds / norm;
+        const double t3 = b3.invocations[i].seconds / norm;
+        const double te = eq.invocations[i].seconds / norm;
+        const double opt = std::min(t1, t3);
+        opt_total += opt;
+        eq_total += te;
+        t.row({std::to_string(i + 1), fmt(t1, 4), fmt(t3, 4), fmt(te, 4),
+               fmt(opt, 4)});
+    }
+    t.row({"total", fmt(b1.total.seconds / norm, 4), fmt(1.0, 4),
+           fmt(eq_total, 4), fmt(opt_total, 4)});
+    t.print();
+    std::cout << "Mean block target per epoch (first 30 epochs): ";
+    for (std::size_t i = 0; i < mean_blocks_per_epoch.size() && i < 30;
+         ++i)
+        std::cout << fmt(mean_blocks_per_epoch[i], 1) << ' ';
+    std::cout << "\nPaper reference: Equalizer tracks the optimal "
+                 "(slower to drop blocks: 3-epoch hysteresis) and its "
+                 "total is close to the optimal's.\n";
+
+    // ------------------------------------------------------------ 11b
+    banner("Figure 11b: spmv timeline — granted warps & waiting warps, "
+           "Equalizer vs DynCTA");
+    const auto &spmv = KernelZoo::byName("spmv");
+
+    auto trace = [&runner, &spmv](const PolicySpec &policy) {
+        WarpStateMonitor monitor(4096);
+        runner.run(spmv.params, policy,
+                   [&monitor](GpuTop &gpu, GpuController *) {
+                       gpu.setCycleObserver(
+                           [&monitor](GpuTop &g) { monitor.observe(g); });
+                   });
+        return monitor;
+    };
+    progress("fig11b spmv equalizer");
+    const auto eq_mon =
+        trace(policies::equalizer(EqualizerMode::Performance));
+    progress("fig11b spmv dyncta");
+    const auto dyn_mon = trace(policies::dynCta());
+
+    TablePrinter t2({"sample", "eq-warps", "eq-waiting", "dyncta-warps",
+                     "dyncta-waiting"});
+    const std::size_t n =
+        std::min(eq_mon.samples().size(), dyn_mon.samples().size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &e = eq_mon.samples()[i];
+        const auto &d = dyn_mon.samples()[i];
+        t2.row({std::to_string(i), fmt(e.unpausedWarps, 1),
+                fmt(e.waiting, 1), fmt(d.unpausedWarps, 1),
+                fmt(d.waiting, 1)});
+    }
+    t2.print();
+    std::cout << "Paper reference: both throttle early (cache "
+                 "contention); when waiting rises in the later phase, "
+                 "Equalizer raises its warp count again while DynCTA "
+                 "stays low.\n";
+    return 0;
+}

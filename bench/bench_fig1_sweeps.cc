@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 1 reproduction: the Section II characterization sweeps.
+ *
+ * For every kernel: performance and energy efficiency (E_base/E) under
+ * (a) SM +15%, (b) SM -15%, (c) DRAM +15%, (d) DRAM -15%, and
+ * (e,f) the statically optimal concurrent-block count found by sweeping
+ * 1..max blocks. The paper plots these as scatter quadrants; we print
+ * the coordinates of every point.
+ */
+
+#include "bench_util.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    banner("Figure 1a-1d: VF sweeps — (performance, energy-efficiency) "
+           "per kernel");
+    TablePrinter vf({"category", "kernel", "sm+15 perf", "sm+15 eff",
+                     "sm-15 perf", "sm-15 eff", "mem+15 perf",
+                     "mem+15 eff", "mem-15 perf", "mem-15 eff"});
+
+    for (const auto &name : kernelsInFigureOrder()) {
+        progress("fig1 vf " + name);
+        const auto &entry = KernelZoo::byName(name);
+        const auto base = runner.run(entry.params, policies::baseline());
+        auto point = [&](const PolicySpec &p) {
+            const auto r = runner.run(entry.params, p);
+            return std::pair<double, double>{
+                speedupOver(base.total, r.total),
+                energyEfficiencyOver(base.total, r.total)};
+        };
+        const auto sm_hi = point(policies::smHigh());
+        const auto sm_lo = point(policies::smLow());
+        const auto mem_hi = point(policies::memHigh());
+        const auto mem_lo = point(policies::memLow());
+        vf.row({kernelCategoryName(entry.params.category), name,
+                fmt(sm_hi.first, 3), fmt(sm_hi.second, 3),
+                fmt(sm_lo.first, 3), fmt(sm_lo.second, 3),
+                fmt(mem_hi.first, 3), fmt(mem_hi.second, 3),
+                fmt(mem_lo.first, 3), fmt(mem_lo.second, 3)});
+    }
+    vf.print();
+
+    banner("Figure 1e/1f: statically optimal concurrency — best block "
+           "count, performance and efficiency at it");
+    TablePrinter blocks({"category", "kernel", "max-blocks",
+                         "best-blocks", "perf@best", "eff@best"});
+    for (const auto &name : kernelsInFigureOrder()) {
+        progress("fig1 blocks " + name);
+        const auto &entry = KernelZoo::byName(name);
+        const auto base = runner.run(entry.params, policies::baseline());
+
+        // Effective slot count mirrors the SM occupancy clamp.
+        const int wcta = entry.params.warpsPerBlock;
+        const GpuConfig gcfg = runner.gpuConfig();
+        const int max_blocks =
+            std::max(1, std::min({entry.params.maxBlocksPerSm,
+                                  gcfg.maxWarpsPerSm / wcta,
+                                  gcfg.maxBlocksPerSm}));
+
+        double best_perf = 1.0;
+        double best_eff = 1.0;
+        int best_n = max_blocks;
+        for (int n = 1; n <= max_blocks; ++n) {
+            const auto r =
+                runner.run(entry.params, policies::staticBlocks(n));
+            const double perf = speedupOver(base.total, r.total);
+            if (perf > best_perf) {
+                best_perf = perf;
+                best_eff = energyEfficiencyOver(base.total, r.total);
+                best_n = n;
+            }
+        }
+        blocks.row({kernelCategoryName(entry.params.category), name,
+                    std::to_string(max_blocks), std::to_string(best_n),
+                    fmt(best_perf, 3), fmt(best_eff, 3)});
+    }
+    blocks.print();
+
+    std::cout << "\nPaper reference: compute kernels move with SM "
+                 "frequency only; memory and cache kernels with DRAM "
+                 "frequency; cache kernels peak at a reduced block "
+                 "count (e.g. kmeans at (3.84, 3.29)); compute/memory "
+                 "kernels peak at maximum blocks.\n";
+    return 0;
+}

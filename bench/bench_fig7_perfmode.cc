@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 7 reproduction: performance mode.
+ *
+ * For every kernel: speedup and energy increase over the baseline GPU
+ * for Equalizer (performance mode), static SM boost (+15%) and static
+ * memory boost (+15%), with per-category and overall geomeans — the
+ * same series the paper's Figure 7 plots.
+ */
+
+#include "bench_util.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+    const auto eq = policies::equalizer(EqualizerMode::Performance);
+    const auto sm_boost = policies::smHigh();
+    const auto mem_boost = policies::memHigh();
+
+    banner("Figure 7: performance mode — speedup over baseline GPU");
+    TablePrinter perf({"category", "kernel", "equalizer", "sm-boost",
+                       "mem-boost"});
+    TablePrinter energy({"category", "kernel", "equalizer", "sm-boost",
+                         "mem-boost"});
+
+    CategoryAggregator eq_speed;
+    CategoryAggregator sm_speed;
+    CategoryAggregator mem_speed;
+    CategoryAggregator eq_energy;
+    CategoryAggregator sm_energy;
+    CategoryAggregator mem_energy;
+
+    for (const auto &name : kernelsInFigureOrder()) {
+        progress("fig7 " + name);
+        const auto &entry = KernelZoo::byName(name);
+        const auto c = entry.params.category;
+        const auto base = runner.run(entry.params, policies::baseline());
+        const auto r_eq = runner.run(entry.params, eq);
+        const auto r_sm = runner.run(entry.params, sm_boost);
+        const auto r_mem = runner.run(entry.params, mem_boost);
+
+        const double s_eq = speedupOver(base.total, r_eq.total);
+        const double s_sm = speedupOver(base.total, r_sm.total);
+        const double s_mem = speedupOver(base.total, r_mem.total);
+        const double e_eq = energyIncreaseOver(base.total, r_eq.total);
+        const double e_sm = energyIncreaseOver(base.total, r_sm.total);
+        const double e_mem = energyIncreaseOver(base.total, r_mem.total);
+
+        eq_speed.add(c, s_eq);
+        sm_speed.add(c, s_sm);
+        mem_speed.add(c, s_mem);
+        eq_energy.add(c, 1.0 + e_eq);
+        sm_energy.add(c, 1.0 + e_sm);
+        mem_energy.add(c, 1.0 + e_mem);
+
+        perf.row({kernelCategoryName(c), name, fmt(s_eq, 3), fmt(s_sm, 3),
+                  fmt(s_mem, 3)});
+        energy.row({kernelCategoryName(c), name, pct(e_eq), pct(e_sm),
+                    pct(e_mem)});
+    }
+
+    for (auto c : categoryOrder()) {
+        perf.row({std::string("geomean-") + kernelCategoryName(c), "",
+                  fmt(eq_speed.categoryGeomean(c), 3),
+                  fmt(sm_speed.categoryGeomean(c), 3),
+                  fmt(mem_speed.categoryGeomean(c), 3)});
+    }
+    perf.row({"geomean-all", "", fmt(eq_speed.overallGeomean(), 3),
+              fmt(sm_speed.overallGeomean(), 3),
+              fmt(mem_speed.overallGeomean(), 3)});
+    perf.print();
+
+    banner("Figure 7 (bottom): energy increase over baseline GPU");
+    for (auto c : categoryOrder()) {
+        energy.row({std::string("geomean-") + kernelCategoryName(c), "",
+                    pct(eq_energy.categoryGeomean(c) - 1.0),
+                    pct(sm_energy.categoryGeomean(c) - 1.0),
+                    pct(mem_energy.categoryGeomean(c) - 1.0)});
+    }
+    energy.row({"geomean-all", "", pct(eq_energy.overallGeomean() - 1.0),
+                pct(sm_energy.overallGeomean() - 1.0),
+                pct(mem_energy.overallGeomean() - 1.0)});
+    energy.print();
+
+    std::cout << "\nPaper reference: Equalizer perf mode = 22% speedup at"
+                 " +6% energy; SM boost = 7% at +12%; mem boost = 6% at"
+                 " +7%.\n";
+    return 0;
+}

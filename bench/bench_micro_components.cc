@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): raw throughput of the
+ * simulator's hot paths — tag lookups, DRAM scheduling, the Algorithm 1
+ * decision, SM cycles and whole-GPU simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "equalizer/decision.hh"
+#include "gpu/gpu_top.hh"
+#include "kernels/kernel_zoo.hh"
+#include "kernels/synthetic_kernel.hh"
+#include "mem/tag_array.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+void
+BM_TagArrayLookup(benchmark::State &state)
+{
+    TagArray tags(64, 4);
+    for (int i = 0; i < 256; ++i)
+        tags.insert(static_cast<Addr>(i) * 128);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup(a));
+        a = (a + 128) & 0xFFFF;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void
+BM_TagArrayInsertEvict(benchmark::State &state)
+{
+    TagArray tags(64, 4);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.insert(a));
+        a += 128;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayInsertEvict);
+
+void
+BM_DramPartitionTick(benchmark::State &state)
+{
+    MemConfig cfg = MemConfig::gtx480();
+    EnergyModel energy;
+    DramPartition dram(cfg, 0, energy);
+    Cycle now = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!dram.full()) {
+            MemAccess acc;
+            acc.lineAddr = a;
+            a += 128 * 6;
+            dram.submit(acc, now);
+        }
+        benchmark::DoNotOptimize(dram.tick(now));
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramPartitionTick);
+
+void
+BM_EqualizerDecision(benchmark::State &state)
+{
+    DecisionInputs in;
+    in.wCta = 8;
+    in.numBlocks = 4;
+    in.maxBlocks = 8;
+    double x = 0.0;
+    for (auto _ : state) {
+        in.counters.nMem = x;
+        in.counters.nAlu = 10.0 - x;
+        in.counters.nWaiting = 20.0;
+        in.counters.nActive = 40.0;
+        benchmark::DoNotOptimize(decide(in));
+        x = x < 12.0 ? x + 0.5 : 0.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EqualizerDecision);
+
+void
+BM_FullGpuSimulation(benchmark::State &state)
+{
+    // Whole-GPU simulation throughput: SM-cycles per second on a small
+    // compute kernel.
+    KernelParams p = KernelZoo::byName("sgemm").params;
+    p.totalBlocks = 30;
+    p.instrsPerWarp = 300;
+    for (auto _ : state) {
+        GpuTop gpu;
+        SyntheticKernel k(p, 0);
+        const RunMetrics m = gpu.runKernel(k);
+        state.counters["sm_cycles"] = static_cast<double>(m.smCycles);
+        benchmark::DoNotOptimize(m.instructions);
+    }
+}
+BENCHMARK(BM_FullGpuSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_EnergyRecord(benchmark::State &state)
+{
+    EnergyModel e;
+    for (auto _ : state)
+        e.record(EnergyEvent::SmAluOp);
+    benchmark::DoNotOptimize(e.dynamicJoules());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnergyRecord);
+
+} // namespace
+} // namespace equalizer
+
+BENCHMARK_MAIN();

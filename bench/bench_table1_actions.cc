@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table I verification: for a representative kernel of each category,
+ * run Equalizer in both objectives and report the action it actually
+ * took on each knob (dominant VF states, block behaviour) against the
+ * paper's action matrix.
+ */
+
+#include "bench_util.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+namespace
+{
+
+/** Dominant non-normal state of a domain, by residency. */
+std::string
+dominantAction(const std::array<Tick, numVfStates> &res)
+{
+    const auto high = res[static_cast<int>(VfState::High)];
+    const auto low = res[static_cast<int>(VfState::Low)];
+    const auto normal = res[static_cast<int>(VfState::Normal)];
+    if (high > normal / 4 && high > low)
+        return "increase";
+    if (low > normal / 4 && low > high)
+        return "decrease";
+    return "maintain";
+}
+
+} // namespace
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    banner("Table I: actions taken by Equalizer per kernel category and "
+           "objective");
+    TablePrinter t({"kernel", "category", "objective", "sm-freq",
+                    "dram-freq", "blocks(end/max)", "paper-expect"});
+
+    struct Row
+    {
+        const char *kernel;
+        const char *expect_energy;
+        const char *expect_perf;
+    };
+    const std::vector<Row> rows = {
+        {"mri-q", "SM maintain, DRAM decrease, max blocks",
+         "SM increase, DRAM maintain, max blocks"},
+        {"lbm", "SM decrease, DRAM maintain, enough blocks",
+         "SM maintain, DRAM increase, enough blocks"},
+        {"kmn", "SM decrease, DRAM maintain, optimal blocks",
+         "SM maintain, DRAM increase, optimal blocks"},
+    };
+
+    for (const auto &row : rows) {
+        const auto &entry = KernelZoo::byName(row.kernel);
+        for (const auto mode :
+             {EqualizerMode::Energy, EqualizerMode::Performance}) {
+            progress(std::string("table1 ") + row.kernel);
+            int end_blocks = -1;
+            const auto r = runner.run(
+                entry.params, policies::equalizer(mode),
+                [&end_blocks](GpuTop &gpu, GpuController *) {
+                    gpu.setCycleObserver([&end_blocks](GpuTop &g) {
+                        end_blocks = g.sm(0).targetBlocks();
+                    });
+                });
+            const bool energy = mode == EqualizerMode::Energy;
+            t.row({row.kernel,
+                   kernelCategoryName(entry.params.category),
+                   energy ? "energy" : "performance",
+                   dominantAction(r.total.smResidency),
+                   dominantAction(r.total.memResidency),
+                   std::to_string(end_blocks) + "/" +
+                       std::to_string(entry.params.maxBlocksPerSm),
+                   energy ? row.expect_energy : row.expect_perf});
+        }
+    }
+    t.print();
+    return 0;
+}

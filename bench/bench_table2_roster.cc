@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table II reproduction: the benchmark roster with measured baseline
+ * characteristics alongside the paper's structural parameters.
+ */
+
+#include "bench_util.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+int
+main()
+{
+    ExperimentRunner runner;
+
+    banner("Table II: kernel roster (paper structure + measured "
+           "baseline behaviour)");
+    TablePrinter t({"application", "kernel", "type", "fraction",
+                    "blocks", "w_cta", "ipc", "l1-hit", "x_alu", "x_mem"});
+
+    for (const auto &name : kernelsInFigureOrder()) {
+        progress("table2 " + name);
+        const auto &entry = KernelZoo::byName(name);
+        const auto r = runner.run(entry.params, policies::baseline());
+        const double cycles = static_cast<double>(r.total.outcomeCycles);
+        t.row({entry.application, name,
+               kernelCategoryName(entry.params.category),
+               fmt(entry.appFraction, 2),
+               std::to_string(entry.params.maxBlocksPerSm),
+               std::to_string(entry.params.warpsPerBlock),
+               fmt(r.total.ipc(), 2), pct(r.total.l1HitRate()),
+               fmt(static_cast<double>(r.total.outcomeTotals.excessAlu) /
+                       cycles, 2),
+               fmt(static_cast<double>(r.total.outcomeTotals.excessMem) /
+                       cycles, 2)});
+    }
+    t.print();
+
+    std::cout << "\nNote: spmv is listed as Compute in the paper's "
+                 "Table II but treated as cache-sensitive by Figures 4, "
+                 "9, 10 and 11b; this repo follows the figures (see "
+                 "DESIGN.md).\n";
+    return 0;
+}

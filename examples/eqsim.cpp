@@ -1,0 +1,187 @@
+/**
+ * @file
+ * eqsim — the general-purpose simulator driver.
+ *
+ * Runs any roster kernel under any policy with GPU-configuration
+ * overrides and prints a full measurement report (timing, energy
+ * breakdown, warp states, cache/DRAM behaviour, VF residency).
+ *
+ * Usage:
+ *   eqsim kernel=<name> [policy=<p>] [overrides...]
+ *
+ * Policies: baseline (default), sm-high, sm-low, mem-high, mem-low,
+ *           blocks-<n>, equalizer-perf, equalizer-energy, dyncta, ccws
+ *
+ * Overrides:
+ *   sms=<n> issue_width=<n> lsu_depth=<n> reg_ports=<n>
+ *   scheduler=lrr|gto sm_mhz=<f> mem_mhz=<f>
+ *   epoch=<cycles> hysteresis=<n> sample=<cycles>
+ *   list=1 (print the roster and exit)
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/config.hh"
+#include "harness/policies.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+using namespace equalizer;
+
+namespace
+{
+
+PolicySpec
+resolvePolicy(const std::string &name, const Config &cfg)
+{
+    EqualizerConfig ecfg;
+    ecfg.epochCycles =
+        static_cast<Cycle>(cfg.getInt("epoch", 4096));
+    ecfg.sampleInterval =
+        static_cast<Cycle>(cfg.getInt("sample", 128));
+    ecfg.hysteresis = static_cast<int>(cfg.getInt("hysteresis", 3));
+
+    if (name == "baseline")
+        return policies::baseline();
+    if (name == "sm-high")
+        return policies::smHigh();
+    if (name == "sm-low")
+        return policies::smLow();
+    if (name == "mem-high")
+        return policies::memHigh();
+    if (name == "mem-low")
+        return policies::memLow();
+    if (name == "equalizer-perf")
+        return policies::equalizer(EqualizerMode::Performance, ecfg);
+    if (name == "equalizer-energy")
+        return policies::equalizer(EqualizerMode::Energy, ecfg);
+    if (name == "dyncta")
+        return policies::dynCta();
+    if (name == "ccws")
+        return policies::ccws();
+    if (name.rfind("blocks-", 0) == 0)
+        return policies::staticBlocks(std::stoi(name.substr(7)));
+    fatal("unknown policy '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const Config cfg = Config::fromArgs(args);
+
+    if (cfg.getBool("list", false)) {
+        TablePrinter t({"kernel", "category", "application", "W_cta",
+                        "max blocks", "grid", "invocations"});
+        for (const auto &e : KernelZoo::all())
+            t.row({e.params.name,
+                   kernelCategoryName(e.params.category), e.application,
+                   std::to_string(e.params.warpsPerBlock),
+                   std::to_string(e.params.maxBlocksPerSm),
+                   std::to_string(e.params.totalBlocks),
+                   std::to_string(e.params.invocationCount())});
+        t.print();
+        return 0;
+    }
+
+    const std::string kernel_name = cfg.getString("kernel", "kmn");
+    const std::string policy_name = cfg.getString("policy", "baseline");
+
+    GpuConfig gcfg = GpuConfig::gtx480();
+    gcfg.numSms = static_cast<int>(cfg.getInt("sms", gcfg.numSms));
+    gcfg.issueWidth =
+        static_cast<int>(cfg.getInt("issue_width", gcfg.issueWidth));
+    gcfg.lsuQueueDepth =
+        static_cast<int>(cfg.getInt("lsu_depth", gcfg.lsuQueueDepth));
+    gcfg.regReadPorts =
+        static_cast<int>(cfg.getInt("reg_ports", gcfg.regReadPorts));
+    gcfg.smNominalHz =
+        cfg.getDouble("sm_mhz", gcfg.smNominalHz / 1e6) * 1e6;
+    gcfg.memNominalHz =
+        cfg.getDouble("mem_mhz", gcfg.memNominalHz / 1e6) * 1e6;
+    if (cfg.getString("scheduler", "lrr") == "gto")
+        gcfg.scheduler = SchedulerPolicy::GreedyThenOldest;
+
+    const ZooEntry &entry = KernelZoo::byName(kernel_name);
+    ExperimentRunner runner(gcfg);
+    const PolicySpec policy = resolvePolicy(policy_name, cfg);
+
+    std::cout << "kernel " << kernel_name << " ("
+              << kernelCategoryName(entry.params.category) << "), policy "
+              << policy.name << ", " << gcfg.numSms << " SMs\n";
+
+    const auto r = runner.run(entry.params, policy);
+    const auto &m = r.total;
+
+    banner("timing");
+    TablePrinter timing({"metric", "value"});
+    timing.row({"time", fmt(m.seconds * 1e3, 4) + " ms"});
+    timing.row({"SM cycles", std::to_string(m.smCycles)});
+    timing.row({"memory cycles", std::to_string(m.memCycles)});
+    timing.row({"instructions", std::to_string(m.instructions)});
+    timing.row({"IPC (all SMs)", fmt(m.ipc(), 3)});
+    timing.row({"invocations",
+                std::to_string(r.invocations.size())});
+    timing.print();
+
+    banner("energy");
+    TablePrinter energy({"component", "value"});
+    energy.row({"dynamic", fmt(m.dynamicJoules, 5) + " J"});
+    energy.row({"static (leak+standby)", fmt(m.staticJoules, 5) + " J"});
+    energy.row({"total", fmt(m.totalJoules(), 5) + " J"});
+    energy.row({"mean power",
+                fmt(m.totalJoules() / m.seconds, 1) + " W"});
+    energy.row({"dram power-down", pct(m.dramPowerDownFraction)});
+    energy.print();
+
+    banner("warp states (fraction of active warp-cycles)");
+    const double active = static_cast<double>(m.outcomeTotals.active);
+    TablePrinter states({"state", "fraction"});
+    if (active > 0) {
+        states.row({"waiting",
+                    pct(static_cast<double>(m.outcomeTotals.waiting) /
+                        active)});
+        states.row({"excess-mem (X_mem)",
+                    pct(static_cast<double>(m.outcomeTotals.excessMem) /
+                        active)});
+        states.row({"excess-alu (X_alu)",
+                    pct(static_cast<double>(m.outcomeTotals.excessAlu) /
+                        active)});
+        states.row({"issued",
+                    pct(static_cast<double>(m.outcomeTotals.issued) /
+                        active)});
+    }
+    states.print();
+
+    banner("memory hierarchy");
+    TablePrinter mem({"metric", "value"});
+    mem.row({"L1 hit rate", pct(m.l1HitRate())});
+    mem.row({"L1 accesses", std::to_string(m.l1Hits + m.l1Misses)});
+    mem.row({"L2 hits / misses", std::to_string(m.l2Hits) + " / " +
+                                     std::to_string(m.l2Misses)});
+    mem.row({"DRAM accesses", std::to_string(m.dramAccesses)});
+    mem.row({"DRAM row-hit rate",
+             pct(m.dramAccesses
+                     ? static_cast<double>(m.dramRowHits) / m.dramAccesses
+                     : 0.0)});
+    mem.print();
+
+    banner("VF residency");
+    TablePrinter vf({"domain", "low", "normal", "high"});
+    Tick total = 0;
+    for (auto t : m.smResidency)
+        total += t;
+    auto frac = [total](Tick t) {
+        return total ? pct(static_cast<double>(t) / total) : pct(0.0);
+    };
+    vf.row({"SM", frac(m.smResidency[0]), frac(m.smResidency[1]),
+            frac(m.smResidency[2])});
+    vf.row({"memory", frac(m.memResidency[0]), frac(m.memResidency[1]),
+            frac(m.memResidency[2])});
+    vf.print();
+    return 0;
+}

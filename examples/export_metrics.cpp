@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Batch measurement export: run one or more kernels under a set of
+ * policies and emit machine-readable CSV/JSON for external plotting
+ * (e.g. regenerating the paper's figures with matplotlib).
+ *
+ * Usage: export_metrics [kernel=<name>|all] [format=csv|json]
+ *                       [out=<path>]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/config.hh"
+#include "harness/export.hh"
+#include "harness/policies.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+using namespace equalizer;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const Config cfg = Config::fromArgs(args);
+    const std::string which = cfg.getString("kernel", "kmn");
+    const std::string format = cfg.getString("format", "csv");
+    const std::string out_path = cfg.getString("out", "");
+
+    std::vector<std::string> kernels;
+    if (which == "all")
+        kernels = KernelZoo::names();
+    else
+        kernels.push_back(which);
+
+    const std::vector<PolicySpec> policies = {
+        policies::baseline(),
+        policies::smHigh(),
+        policies::memHigh(),
+        policies::equalizer(EqualizerMode::Performance),
+        policies::equalizer(EqualizerMode::Energy),
+    };
+
+    ExperimentRunner runner;
+    MetricsExporter exporter;
+    for (const auto &name : kernels) {
+        const auto &entry = KernelZoo::byName(name);
+        for (const auto &policy : policies) {
+            std::cerr << "[export] " << name << " / " << policy.name
+                      << '\n';
+            const auto r = runner.run(entry.params, policy);
+            exporter.addResult(name, policy.name, r.total, r.invocations);
+        }
+    }
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file)
+            fatal("cannot open '", out_path, "' for writing");
+        os = &file;
+    }
+    if (format == "json")
+        exporter.writeJson(*os);
+    else
+        exporter.writeCsv(*os);
+    if (!out_path.empty())
+        std::cerr << "[export] wrote " << exporter.size() << " rows to "
+                  << out_path << '\n';
+    return 0;
+}

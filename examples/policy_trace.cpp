@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Equalizer decision tracing: runs one kernel under Equalizer and prints
+ * the per-epoch counters, tendency, block target and VF states — the
+ * observability view of the runtime.
+ *
+ * Usage: policy_trace [kernel=<name>] [mode=perf|energy] [blocks=<n>]
+ *   blocks=<n> runs a statically fixed block count instead (with the
+ *   passive monitor), which is handy for calibration.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/config.hh"
+#include "equalizer/monitor.hh"
+#include "harness/policies.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+using namespace equalizer;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const Config cfg = Config::fromArgs(args);
+    const std::string kernel_name = cfg.getString("kernel", "kmn");
+    const std::string mode_name = cfg.getString("mode", "perf");
+    const int static_blocks =
+        static_cast<int>(cfg.getInt("blocks", -1));
+
+    const ZooEntry &entry = KernelZoo::byName(kernel_name);
+    ExperimentRunner runner;
+
+    if (static_blocks > 0) {
+        // Static block count with a passive monitor.
+        TablePrinter table({"cycle", "active", "waiting", "x_alu",
+                            "x_mem", "issued"});
+        WarpStateMonitor monitor(4096);
+        auto result = runner.run(
+            entry.params, policies::staticBlocks(static_blocks),
+            [&monitor](GpuTop &gpu, GpuController *) {
+                gpu.setCycleObserver(
+                    [&monitor](GpuTop &g) { monitor.observe(g); });
+            });
+        for (const auto &s : monitor.samples())
+            table.row({std::to_string(s.cycle), fmt(s.active, 1),
+                       fmt(s.waiting, 1), fmt(s.xAlu, 1), fmt(s.xMem, 1),
+                       fmt(s.issued, 2)});
+        table.print();
+        const auto &m = result.total;
+        std::cout << "time " << fmt(m.seconds * 1e3, 3) << " ms, IPC "
+                  << fmt(m.ipc(), 2) << ", L1 hit " << pct(m.l1HitRate())
+                  << ", energy " << fmt(m.totalJoules(), 4) << " J\n";
+        return 0;
+    }
+
+    EqualizerConfig ecfg;
+    ecfg.mode = mode_name == "energy" ? EqualizerMode::Energy
+                                      : EqualizerMode::Performance;
+
+    TablePrinter table({"cycle", "active", "waiting", "x_alu", "x_mem",
+                        "tendency", "blocks", "sm_vf", "mem_vf"});
+    auto result = runner.run(
+        entry.params, policies::equalizer(ecfg.mode, ecfg),
+        [&table](GpuTop &, GpuController *ctrl) {
+            auto *eq = dynamic_cast<EqualizerEngine *>(ctrl);
+            eq->setEpochTrace([&table](const EqualizerEpochRecord &r) {
+                table.row({std::to_string(r.cycle),
+                           fmt(r.meanCounters.nActive, 1),
+                           fmt(r.meanCounters.nWaiting, 1),
+                           fmt(r.meanCounters.nAlu, 1),
+                           fmt(r.meanCounters.nMem, 1),
+                           tendencyName(r.tendency),
+                           fmt(r.meanTargetBlocks, 1),
+                           vfStateName(r.smState),
+                           vfStateName(r.memState)});
+            });
+        });
+    table.print();
+
+    const auto &m = result.total;
+    std::cout << "time " << fmt(m.seconds * 1e3, 3) << " ms, IPC "
+              << fmt(m.ipc(), 2) << ", L1 hit " << pct(m.l1HitRate())
+              << ", energy " << fmt(m.totalJoules(), 4) << " J\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "dyncta.hh"
+
+#include "gpu/gpu_top.hh"
+
+namespace equalizer
+{
+
+void
+DynCta::onKernelLaunch(GpuTop &gpu)
+{
+    windows_.assign(static_cast<std::size_t>(gpu.numSms()), SmWindow{});
+}
+
+void
+DynCta::onSmCycle(GpuTop &gpu)
+{
+    const int n = gpu.numSms();
+    for (int i = 0; i < n; ++i) {
+        auto &w = windows_[static_cast<std::size_t>(i)];
+        const auto counts = gpu.sm(i).sampleStates();
+        ++w.cycles;
+        if (counts.active > 0) {
+            if (counts.waiting * 2 > counts.active)
+                ++w.memStallCycles;
+            if (counts.issued == 0)
+                ++w.idleCycles;
+        }
+
+        if (w.cycles < cfg_.windowCycles)
+            continue;
+
+        const double mem_frac = static_cast<double>(w.memStallCycles) /
+                                static_cast<double>(w.cycles);
+        const double idle_frac = static_cast<double>(w.idleCycles) /
+                                 static_cast<double>(w.cycles);
+        w.reset();
+
+        auto &sm = gpu.sm(i);
+        if (mem_frac > cfg_.memStallHigh) {
+            if (sm.targetBlocks() > 1) {
+                sm.setTargetBlocks(sm.targetBlocks() - 1);
+                ++blockChanges_;
+            }
+        } else if (mem_frac < cfg_.memStallLow &&
+                   idle_frac > cfg_.idleHigh) {
+            if (sm.targetBlocks() < sm.blockSlotCount()) {
+                sm.setTargetBlocks(sm.targetBlocks() + 1);
+                ++blockChanges_;
+            }
+        }
+    }
+}
+
+} // namespace equalizer

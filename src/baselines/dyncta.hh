@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DynCTA (Kayiran et al., PACT 2013): a stall-heuristic CTA controller,
+ * reimplemented as a comparison baseline for Figure 10/11b.
+ */
+
+#ifndef EQ_BASELINES_DYNCTA_HH
+#define EQ_BASELINES_DYNCTA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/controller.hh"
+
+namespace equalizer
+{
+
+/** Tunables of the DynCTA heuristic. */
+struct DynCtaConfig
+{
+    Cycle windowCycles = 1024;
+
+    /**
+     * Window fraction of memory-stall cycles (most warps waiting on
+     * loads) above which the block count is decreased.
+     */
+    double memStallHigh = 0.5;
+
+    /**
+     * Window fraction of idle-issue cycles (nothing issued while work is
+     * resident) below which — together with low memory stall — the block
+     * count is increased.
+     */
+    double idleHigh = 0.2;
+
+    double memStallLow = 0.3;
+};
+
+/**
+ * DynCTA distinguishes idle stalls from memory-waiting stalls and nudges
+ * the number of CTAs accordingly. Unlike Equalizer it has no notion of
+ * pipe back-pressure (X_mem) versus plain latency waiting, which is what
+ * costs it in the spmv phase change (paper Fig 11b).
+ */
+class DynCta : public GpuController
+{
+  public:
+    explicit DynCta(DynCtaConfig cfg = DynCtaConfig{}) : cfg_(cfg) {}
+
+    std::string name() const override { return "dyncta"; }
+
+    void onKernelLaunch(GpuTop &gpu) override;
+    void onSmCycle(GpuTop &gpu) override;
+
+    std::uint64_t blockChanges() const { return blockChanges_; }
+
+  private:
+    struct SmWindow
+    {
+        std::uint64_t memStallCycles = 0;
+        std::uint64_t idleCycles = 0;
+        std::uint64_t cycles = 0;
+
+        void
+        reset()
+        {
+            memStallCycles = 0;
+            idleCycles = 0;
+            cycles = 0;
+        }
+    };
+
+    DynCtaConfig cfg_;
+    std::vector<SmWindow> windows_;
+    std::uint64_t blockChanges_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_BASELINES_DYNCTA_HH

@@ -1,0 +1,94 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "log.hh"
+
+namespace equalizer
+{
+
+Config
+Config::fromArgs(const std::vector<std::string> &args)
+{
+    Config cfg;
+    for (const auto &arg : args) {
+        auto pos = arg.find('=');
+        if (pos == std::string::npos || pos == 0)
+            fatal("malformed option '", arg, "', expected key=value");
+        cfg.set(arg.substr(0, pos), arg.substr(pos + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+bool
+Config::contains(const std::string &key) const
+{
+    return entries_.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::find(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &default_value) const
+{
+    return find(key).value_or(default_value);
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t default_value) const
+{
+    auto v = find(key);
+    if (!v)
+        return default_value;
+    try {
+        return std::stoll(*v);
+    } catch (...) {
+        fatal("option '", key, "' has non-integer value '", *v, "'");
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double default_value) const
+{
+    auto v = find(key);
+    if (!v)
+        return default_value;
+    try {
+        return std::stod(*v);
+    } catch (...) {
+        fatal("option '", key, "' has non-numeric value '", *v, "'");
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool default_value) const
+{
+    auto v = find(key);
+    if (!v)
+        return default_value;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("option '", key, "' has non-boolean value '", *v, "'");
+}
+
+} // namespace equalizer

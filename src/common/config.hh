@@ -1,0 +1,57 @@
+/**
+ * @file
+ * String key/value configuration with typed accessors.
+ *
+ * Structured per-subsystem config structs (GpuConfig, PowerConfig, ...) are
+ * the primary configuration mechanism; Config exists for command-line style
+ * overrides in examples and benches ("key=value" pairs).
+ */
+
+#ifndef EQ_COMMON_CONFIG_HH
+#define EQ_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace equalizer
+{
+
+/** A flat dictionary of string options with typed getters. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key=value" tokens; tokens without '=' raise fatal(). */
+    static Config fromArgs(const std::vector<std::string> &args);
+
+    /** Set (or overwrite) an option. */
+    void set(const std::string &key, const std::string &value);
+
+    bool contains(const std::string &key) const;
+
+    /** Typed getters returning default_value when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &default_value) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t default_value) const;
+    double getDouble(const std::string &key, double default_value) const;
+    bool getBool(const std::string &key, bool default_value) const;
+
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::optional<std::string> find(const std::string &key) const;
+
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_COMMON_CONFIG_HH

@@ -1,0 +1,46 @@
+#include "log.hh"
+
+#include <atomic>
+
+namespace equalizer
+{
+
+namespace
+{
+std::atomic<bool> verboseFlag{false};
+} // namespace
+
+void
+setVerbose(bool v)
+{
+    verboseFlag.store(v, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return verboseFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+printMessage(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+void
+exitWithMessage(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+    std::fflush(stderr);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace equalizer

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight status/error reporting in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for internal
+ * invariant violations. warn()/inform() print status without stopping the
+ * simulation.
+ */
+
+#ifndef EQ_COMMON_LOG_HH
+#define EQ_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace equalizer
+{
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void exitWithMessage(const char *kind, const std::string &msg,
+                                  bool abort_process);
+
+void printMessage(const char *kind, const std::string &msg);
+
+} // namespace detail
+
+/** Whether inform() messages are printed. Tests may silence them. */
+void setVerbose(bool verbose);
+bool verbose();
+
+/**
+ * Terminate due to a user-visible error (bad config, invalid argument).
+ * Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::exitWithMessage("fatal", detail::concat(std::forward<Args>(args)...),
+                            false);
+}
+
+/**
+ * Terminate due to an internal simulator bug. Calls std::abort() so a core
+ * dump / debugger break is possible.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::exitWithMessage("panic", detail::concat(std::forward<Args>(args)...),
+                            true);
+}
+
+/** Print a warning; the simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::printMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational message when verbose mode is on. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verbose())
+        detail::printMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define EQ_ASSERT(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::equalizer::panic("assertion '", #cond, "' failed at ",          \
+                               __FILE__, ":", __LINE__, ": ", ##__VA_ARGS__); \
+    } while (0)
+
+} // namespace equalizer
+
+#endif // EQ_COMMON_LOG_HH

@@ -1,0 +1,51 @@
+#include "stats.hh"
+
+#include <sstream>
+
+namespace equalizer
+{
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatRegistry::distribution(const std::string &name)
+{
+    return distributions_[name];
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, d] : distributions_)
+        d.reset();
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << name << ' ' << c.value() << '\n';
+    for (const auto &[name, d] : distributions_) {
+        os << name << ".mean " << d.mean() << '\n';
+        os << name << ".min " << d.min() << '\n';
+        os << name << ".max " << d.max() << '\n';
+        os << name << ".count " << d.count() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace equalizer

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A small named-statistics registry.
+ *
+ * Components register scalar counters and distributions by name; the
+ * harness dumps them after a run. Deliberately simple: no formulas, no
+ * hierarchy beyond dotted names.
+ */
+
+#ifndef EQ_COMMON_STATS_HH
+#define EQ_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace equalizer
+{
+
+/** A monotonically growing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(std::uint64_t delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running mean/min/max over observed samples. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Owner of named statistics. Each simulated GPU instance carries one
+ * registry so concurrent experiments never share counters.
+ */
+class StatRegistry
+{
+  public:
+    /** Get or create a counter with the given dotted name. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create a distribution with the given dotted name. */
+    Distribution &distribution(const std::string &name);
+
+    /** Look up a counter's value; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Render "name value" lines, sorted by name. */
+    std::string dump() const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> distributions_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_COMMON_STATS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef EQ_COMMON_TYPES_HH
+#define EQ_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace equalizer
+{
+
+/** Simulated time in femtoseconds. 64 bits covers ~5 hours of sim time. */
+using Tick = std::uint64_t;
+
+/** A cycle count within one clock domain. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Femtoseconds per second, for frequency/period conversions. */
+inline constexpr Tick ticksPerSecond = 1'000'000'000'000'000ULL;
+
+/** Identifier of a streaming multiprocessor. */
+using SmId = int;
+
+/** Identifier of a warp slot within an SM. */
+using WarpId = int;
+
+/** Identifier of a thread block (CTA) within a kernel launch. */
+using BlockId = int;
+
+/**
+ * Convert a frequency in Hz to a clock period in ticks (femtoseconds).
+ *
+ * @param hz Frequency in Hertz; must be positive.
+ * @return Period rounded to the nearest femtosecond.
+ */
+constexpr Tick
+periodFromHz(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(ticksPerSecond) / hz + 0.5);
+}
+
+} // namespace equalizer
+
+#endif // EQ_COMMON_TYPES_HH

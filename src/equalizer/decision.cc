@@ -1,0 +1,102 @@
+#include "decision.hh"
+
+namespace equalizer
+{
+
+const char *
+tendencyName(Tendency t)
+{
+    switch (t) {
+      case Tendency::MemoryHeavy:
+        return "memory-heavy";
+      case Tendency::ComputeHeavy:
+        return "compute-heavy";
+      case Tendency::MemorySaturated:
+        return "memory-saturated";
+      case Tendency::UnsaturatedComp:
+        return "unsaturated-compute";
+      case Tendency::UnsaturatedMem:
+        return "unsaturated-memory";
+      case Tendency::IdleImbalance:
+        return "idle-imbalance";
+      case Tendency::Degenerate:
+      default:
+        return "degenerate";
+    }
+}
+
+Decision
+decide(const DecisionInputs &in)
+{
+    Decision d;
+    const auto &c = in.counters;
+    const double wcta = static_cast<double>(in.wCta);
+
+    if (c.nMem > wcta) {
+        // Definitely memory intensive: one fewer block keeps bandwidth
+        // saturated while shrinking cache contention.
+        d.tendency = Tendency::MemoryHeavy;
+        if (in.numBlocks > 1)
+            d.blockDelta = -1;
+        d.memAction = true;
+    } else if (c.nAlu > wcta) {
+        // Definitely compute intensive.
+        d.tendency = Tendency::ComputeHeavy;
+        d.compAction = true;
+    } else if (c.nMem > in.memSaturationThreshold) {
+        // Likely memory intensive: bandwidth saturated, but reducing
+        // blocks might under-subscribe it (Section III-A).
+        d.tendency = Tendency::MemorySaturated;
+        d.memAction = true;
+    } else if (c.nWaiting > c.nActive / 2.0) {
+        // Close to an ideal kernel: give it more work, and nudge the
+        // resource it leans toward.
+        if (in.numBlocks < in.maxBlocks)
+            d.blockDelta = +1;
+        if (c.nAlu > c.nMem) {
+            d.tendency = Tendency::UnsaturatedComp;
+            d.compAction = true;
+        } else {
+            d.tendency = Tendency::UnsaturatedMem;
+            d.memAction = true;
+        }
+    } else if (c.nActive <= 0.0) {
+        // Load-imbalance tail: most SMs idle; finish the stragglers
+        // early (performance) or starve the idle memory (energy).
+        d.tendency = Tendency::IdleImbalance;
+        d.compAction = true;
+    } else {
+        d.tendency = Tendency::Degenerate;
+    }
+    return d;
+}
+
+VfTargets
+applyObjective(const Decision &d, EqualizerMode mode, VfState current_sm,
+               VfState current_mem)
+{
+    VfTargets t;
+    t.sm = current_sm;
+    t.mem = current_mem;
+
+    if (d.compAction) {
+        if (mode == EqualizerMode::Energy) {
+            t.mem = VfState::Low;    // throttle the idle memory system
+            t.sm = VfState::Normal;
+        } else {
+            t.sm = VfState::High;    // boost the bottleneck
+            t.mem = VfState::Normal;
+        }
+    } else if (d.memAction) {
+        if (mode == EqualizerMode::Energy) {
+            t.sm = VfState::Low;     // throttle the idle SMs
+            t.mem = VfState::Normal;
+        } else {
+            t.mem = VfState::High;   // boost the bottleneck
+            t.sm = VfState::Normal;
+        }
+    }
+    return t;
+}
+
+} // namespace equalizer

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: the per-SM Equalizer decision, and the
+ * Table I mapping from kernel tendency to VF targets per objective.
+ */
+
+#ifndef EQ_EQUALIZER_DECISION_HH
+#define EQ_EQUALIZER_DECISION_HH
+
+#include "equalizer/sampler.hh"
+#include "sim/vf.hh"
+
+namespace equalizer
+{
+
+/** Objective of the runtime (paper Table I columns). */
+enum class EqualizerMode
+{
+    Energy,      ///< throttle under-utilized resources
+    Performance, ///< boost the bottleneck resource
+};
+
+/** Kernel tendency detected by Algorithm 1 (for tracing/reporting). */
+enum class Tendency
+{
+    MemoryHeavy,     ///< nMem > W_cta: definitely memory intensive
+    ComputeHeavy,    ///< nALU > W_cta: definitely compute intensive
+    MemorySaturated, ///< nMem > 2: bandwidth saturated
+    UnsaturatedComp, ///< waiting-dominated with compute inclination
+    UnsaturatedMem,  ///< waiting-dominated with memory inclination
+    IdleImbalance,   ///< nActive == 0: load imbalance tail
+    Degenerate,      ///< no condition met: change nothing
+};
+
+const char *tendencyName(Tendency t);
+
+/** Inputs of one per-SM decision. */
+struct DecisionInputs
+{
+    EpochCounters counters;
+    int wCta = 1;            ///< warps per block (the paper's threshold)
+    int numBlocks = 1;       ///< current concurrency target
+    int maxBlocks = 1;       ///< block-slot capacity of the SM
+    double memSaturationThreshold = 2.0; ///< paper: two X_mem warps
+};
+
+/** Output of one per-SM decision. */
+struct Decision
+{
+    Tendency tendency = Tendency::Degenerate;
+    int blockDelta = 0;      ///< -1, 0 or +1
+    bool memAction = false;  ///< MemAction of Algorithm 1
+    bool compAction = false; ///< CompAction of Algorithm 1
+};
+
+/**
+ * Algorithm 1 (paper Section III-B), verbatim:
+ *
+ *   if nMem > Wcta:          numBlocks--; MemAction
+ *   else if nALU > Wcta:     CompAction
+ *   else if nMem > 2:        MemAction
+ *   else if nWaiting > nActive/2:
+ *       numBlocks++
+ *       if nALU > nMem: CompAction else MemAction
+ *   else if nActive == 0:    CompAction   (load-imbalance tail)
+ *
+ * Block deltas are clamped to the SM's feasible range.
+ */
+Decision decide(const DecisionInputs &in);
+
+/** VF targets for both domains derived from one decision. */
+struct VfTargets
+{
+    VfState sm = VfState::Normal;
+    VfState mem = VfState::Normal;
+};
+
+/**
+ * Table I: map a decision to target operating points under an objective.
+ *
+ *   CompAction + Energy      -> memory Low,  SM Normal
+ *   CompAction + Performance -> SM High,     memory Normal
+ *   MemAction  + Energy      -> SM Low,      memory Normal
+ *   MemAction  + Performance -> memory High, SM Normal
+ *   neither                  -> keep the current states
+ *
+ * @param current_sm / @param current_mem The domain states now, returned
+ *        unchanged for domains the decision does not touch.
+ */
+VfTargets applyObjective(const Decision &d, EqualizerMode mode,
+                         VfState current_sm, VfState current_mem);
+
+} // namespace equalizer
+
+#endif // EQ_EQUALIZER_DECISION_HH

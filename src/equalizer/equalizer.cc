@@ -1,0 +1,137 @@
+#include "equalizer.hh"
+
+#include "gpu/gpu_top.hh"
+
+namespace equalizer
+{
+
+EqualizerEngine::EqualizerEngine(EqualizerConfig cfg) : cfg_(cfg)
+{
+}
+
+std::string
+EqualizerEngine::name() const
+{
+    return cfg_.mode == EqualizerMode::Energy ? "equalizer-energy"
+                                              : "equalizer-perf";
+}
+
+void
+EqualizerEngine::onKernelLaunch(GpuTop &gpu)
+{
+    const int n = gpu.numSms();
+    if (static_cast<int>(samplers_.size()) != n) {
+        samplers_.assign(static_cast<std::size_t>(n), WarpStateSampler{});
+        pendingDir_.assign(static_cast<std::size_t>(n), 0);
+        pendingCount_.assign(static_cast<std::size_t>(n), 0);
+        rememberedTargets_.assign(static_cast<std::size_t>(n), -1);
+        freqMgr_ = std::make_unique<FrequencyManager>(n);
+    }
+
+    const std::string kname =
+        gpu.currentKernel() ? gpu.currentKernel()->info().name : "";
+    const bool same_kernel = !kname.empty() && kname == lastKernel_;
+    lastKernel_ = kname;
+
+    for (int i = 0; i < n; ++i) {
+        samplers_[static_cast<std::size_t>(i)].reset();
+        pendingDir_[static_cast<std::size_t>(i)] = 0;
+        pendingCount_[static_cast<std::size_t>(i)] = 0;
+        // A new invocation of the same kernel inherits the adapted block
+        // target (paper Fig 11a); a different kernel starts at maximum.
+        if (same_kernel &&
+            rememberedTargets_[static_cast<std::size_t>(i)] > 0) {
+            gpu.sm(i).setTargetBlocks(
+                rememberedTargets_[static_cast<std::size_t>(i)]);
+        } else {
+            rememberedTargets_[static_cast<std::size_t>(i)] = -1;
+        }
+    }
+}
+
+void
+EqualizerEngine::onSmCycle(GpuTop &gpu)
+{
+    const Cycle c = gpu.smDomain().cycle();
+    if (c % cfg_.sampleInterval == 0) {
+        for (int i = 0; i < gpu.numSms(); ++i)
+            samplers_[static_cast<std::size_t>(i)].accumulate(
+                gpu.sm(i).sampleStates());
+    }
+    if (c % cfg_.epochCycles == 0)
+        endEpoch(gpu);
+}
+
+void
+EqualizerEngine::endEpoch(GpuTop &gpu)
+{
+    ++epochs_;
+    const int n = gpu.numSms();
+
+    EqualizerEpochRecord rec;
+    rec.cycle = gpu.smDomain().cycle();
+    Tendency first_tendency = Tendency::Degenerate;
+
+    for (int i = 0; i < n; ++i) {
+        auto &sampler = samplers_[static_cast<std::size_t>(i)];
+        const EpochCounters avg = sampler.average();
+        sampler.reset();
+
+        auto &sm = gpu.sm(i);
+        DecisionInputs in;
+        in.counters = avg;
+        in.wCta = sm.warpsPerBlock();
+        in.numBlocks = sm.targetBlocks();
+        in.maxBlocks = sm.blockSlotCount();
+        in.memSaturationThreshold = cfg_.memSaturationThreshold;
+        const Decision d = decide(in);
+        if (i == 0)
+            first_tendency = d.tendency;
+
+        // --- Block-count hysteresis (paper IV-B): act only after
+        // `hysteresis` consecutive epochs agree on the same change.
+        auto &dir = pendingDir_[static_cast<std::size_t>(i)];
+        auto &count = pendingCount_[static_cast<std::size_t>(i)];
+        if (d.blockDelta != 0 && d.blockDelta == dir) {
+            ++count;
+        } else {
+            dir = d.blockDelta;
+            count = d.blockDelta != 0 ? 1 : 0;
+        }
+        if (d.blockDelta != 0 && count >= cfg_.hysteresis) {
+            sm.setTargetBlocks(sm.targetBlocks() + d.blockDelta);
+            ++blockChanges_;
+            dir = 0;
+            count = 0;
+        }
+        rememberedTargets_[static_cast<std::size_t>(i)] =
+            sm.targetBlocks();
+
+        // --- VF preference under the current objective.
+        const VfTargets t =
+            applyObjective(d, cfg_.mode, gpu.smDomain().state(),
+                           gpu.memDomain().state());
+        freqMgr_->submit(i, t.sm, t.mem);
+
+        rec.meanCounters.nActive += avg.nActive / n;
+        rec.meanCounters.nWaiting += avg.nWaiting / n;
+        rec.meanCounters.nAlu += avg.nAlu / n;
+        rec.meanCounters.nMem += avg.nMem / n;
+        rec.meanTargetBlocks +=
+            static_cast<double>(sm.targetBlocks()) / n;
+        rec.meanUnpausedWarps +=
+            static_cast<double>(sm.unpausedBlocks() * sm.warpsPerBlock()) /
+            n;
+    }
+
+    freqMgr_->resolve(gpu);
+
+    if (trace_) {
+        rec.tendency = first_tendency;
+        rec.smState = gpu.smDomain().state();
+        rec.memState = gpu.memDomain().state();
+        trace_(rec);
+    }
+}
+
+} // namespace equalizer

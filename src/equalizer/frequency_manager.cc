@@ -1,0 +1,94 @@
+#include "frequency_manager.hh"
+
+#include "common/log.hh"
+#include "gpu/gpu_top.hh"
+
+namespace equalizer
+{
+
+FrequencyManager::FrequencyManager(int num_sms)
+    : smVotes_(static_cast<std::size_t>(num_sms), -1),
+      memVotes_(static_cast<std::size_t>(num_sms), -1)
+{
+}
+
+void
+FrequencyManager::submit(SmId sm, VfState sm_target, VfState mem_target)
+{
+    EQ_ASSERT(sm >= 0 && sm < static_cast<int>(smVotes_.size()),
+              "vote from unknown SM ", sm);
+    smVotes_[static_cast<std::size_t>(sm)] = static_cast<int>(sm_target);
+    memVotes_[static_cast<std::size_t>(sm)] = static_cast<int>(mem_target);
+}
+
+int
+FrequencyManager::votesReceived() const
+{
+    int n = 0;
+    for (auto v : smVotes_)
+        n += v >= 0 ? 1 : 0;
+    return n;
+}
+
+VfState
+FrequencyManager::majorityTarget(bool mem_domain, VfState fallback) const
+{
+    const auto &votes = mem_domain ? memVotes_ : smVotes_;
+    std::array<int, numVfStates> tally{};
+    int cast = 0;
+    for (int v : votes) {
+        if (v >= 0) {
+            ++tally[static_cast<std::size_t>(v)];
+            ++cast;
+        }
+    }
+    if (cast == 0)
+        return fallback;
+
+    int best = -1;
+    int best_count = 0;
+    for (int i = 0; i < numVfStates; ++i) {
+        if (tally[static_cast<std::size_t>(i)] > best_count) {
+            best_count = tally[static_cast<std::size_t>(i)];
+            best = i;
+        }
+    }
+    // Require a strict majority of the cast votes; otherwise hold.
+    if (best_count * 2 <= cast)
+        return fallback;
+    return static_cast<VfState>(best);
+}
+
+void
+FrequencyManager::resolve(GpuTop &gpu)
+{
+    const VfState cur_sm = gpu.smDomain().state();
+    const VfState cur_mem = gpu.memDomain().state();
+
+    const VfState want_sm = majorityTarget(false, cur_sm);
+    const VfState want_mem = majorityTarget(true, cur_mem);
+
+    auto step_toward = [](VfState cur, VfState want) {
+        if (static_cast<int>(want) > static_cast<int>(cur))
+            return stepUp(cur);
+        if (static_cast<int>(want) < static_cast<int>(cur))
+            return stepDown(cur);
+        return cur;
+    };
+
+    const VfState next_sm = step_toward(cur_sm, want_sm);
+    const VfState next_mem = step_toward(cur_mem, want_mem);
+
+    if (next_sm != cur_sm) {
+        gpu.requestVfState(PowerDomain::Sm, next_sm);
+        ++transitions_;
+    }
+    if (next_mem != cur_mem) {
+        gpu.requestVfState(PowerDomain::Memory, next_mem);
+        ++transitions_;
+    }
+
+    clear();
+}
+
+} // namespace equalizer

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The global frequency manager: collects per-SM VF preferences each
+ * epoch, takes a majority vote per domain, and steps the domains one
+ * discrete level at a time (paper Sections III and IV-C).
+ */
+
+#ifndef EQ_EQUALIZER_FREQUENCY_MANAGER_HH
+#define EQ_EQUALIZER_FREQUENCY_MANAGER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/vf.hh"
+
+namespace equalizer
+{
+
+class GpuTop;
+
+/** Majority-vote VF governor shared by all SMs. */
+class FrequencyManager
+{
+  public:
+    explicit FrequencyManager(int num_sms);
+
+    /** Record one SM's preferred operating points for this epoch. */
+    void submit(SmId sm, VfState sm_target, VfState mem_target);
+
+    /**
+     * Close the epoch: take the majority vote per domain and move each
+     * domain one step toward the winning target (through GpuTop, which
+     * applies the VRM transition latency). Clears the ballot.
+     */
+    void resolve(GpuTop &gpu);
+
+    /** Majority target of the current ballot for a domain (testable). */
+    VfState majorityTarget(bool mem_domain, VfState fallback) const;
+
+    /** Number of votes received this epoch. */
+    int votesReceived() const;
+
+    void
+    clear()
+    {
+        for (auto &v : smVotes_)
+            v = -1;
+        for (auto &v : memVotes_)
+            v = -1;
+    }
+
+    std::uint64_t transitionsRequested() const { return transitions_; }
+
+  private:
+    std::vector<int> smVotes_;  ///< per SM: VfState index or -1
+    std::vector<int> memVotes_;
+    std::uint64_t transitions_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_EQUALIZER_FREQUENCY_MANAGER_HH

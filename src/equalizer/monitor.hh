@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A passive warp-state monitor for tracing figures (2b, 11b) and the
+ * Figure 4 state-distribution experiment. Takes no actions.
+ */
+
+#ifndef EQ_EQUALIZER_MONITOR_HH
+#define EQ_EQUALIZER_MONITOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_top.hh"
+
+namespace equalizer
+{
+
+/** One timeline point averaged over all SMs. */
+struct MonitorSample
+{
+    Cycle cycle = 0;
+    double active = 0.0;
+    double waiting = 0.0;
+    double xAlu = 0.0;
+    double xMem = 0.0;
+    double issued = 0.0;
+    double unpausedWarps = 0.0; ///< concurrency granted by the policy
+};
+
+/**
+ * Samples the warp states of every SM at a fixed interval.
+ *
+ * Installed through GpuTop::setCycleObserver so it can run alongside any
+ * controller:
+ *
+ *   WarpStateMonitor mon(1024);
+ *   gpu.setCycleObserver([&](GpuTop &g) { mon.observe(g); });
+ */
+class WarpStateMonitor
+{
+  public:
+    explicit WarpStateMonitor(Cycle interval = 1024) : interval_(interval)
+    {
+    }
+
+    /** Call once per SM cycle. */
+    void
+    observe(GpuTop &gpu)
+    {
+        const Cycle c = gpu.smDomain().cycle();
+        if (c % interval_ != 0)
+            return;
+        MonitorSample s;
+        s.cycle = c;
+        const int n = gpu.numSms();
+        for (int i = 0; i < n; ++i) {
+            const auto counts = gpu.sm(i).sampleStates();
+            s.active += static_cast<double>(counts.active) / n;
+            s.waiting += static_cast<double>(counts.waiting) / n;
+            s.xAlu += static_cast<double>(counts.excessAlu) / n;
+            s.xMem += static_cast<double>(counts.excessMem) / n;
+            s.issued += static_cast<double>(counts.issued) / n;
+            s.unpausedWarps +=
+                static_cast<double>(gpu.sm(i).unpausedBlocks() *
+                                    gpu.sm(i).warpsPerBlock()) /
+                n;
+        }
+        samples_.push_back(s);
+    }
+
+    const std::vector<MonitorSample> &samples() const { return samples_; }
+
+    void clear() { samples_.clear(); }
+
+  private:
+    Cycle interval_;
+    std::vector<MonitorSample> samples_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_EQUALIZER_MONITOR_HH

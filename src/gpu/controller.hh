@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Runtime-policy hook. Equalizer, DynCTA, CCWS and the static operating
+ * points all plug into the GPU through this interface.
+ */
+
+#ifndef EQ_GPU_CONTROLLER_HH
+#define EQ_GPU_CONTROLLER_HH
+
+#include <string>
+
+namespace equalizer
+{
+
+class GpuTop;
+
+/**
+ * A hardware runtime policy observing and steering the GPU.
+ *
+ * Hooks are invoked by GpuTop: onKernelLaunch after SMs are bound to the
+ * kernel but before blocks are distributed; onSmCycle after every SM
+ * clock edge (all SMs have ticked); onKernelComplete when the grid has
+ * drained.
+ */
+class GpuController
+{
+  public:
+    virtual ~GpuController() = default;
+
+    /** Short policy name for reports ("equalizer-perf", "sm-high", ...). */
+    virtual std::string name() const = 0;
+
+    virtual void onKernelLaunch(GpuTop &) {}
+    virtual void onSmCycle(GpuTop &) {}
+    virtual void onKernelComplete(GpuTop &) {}
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_CONTROLLER_HH

@@ -1,0 +1,303 @@
+#include "gpu_top.hh"
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+GpuTop::GpuTop(GpuConfig cfg, PowerConfig power)
+    : cfg_(cfg), energy_(power), smDomain_("sm", cfg.smNominalHz),
+      memDomain_("mem", cfg.memNominalHz),
+      memSystem_(cfg_.mem, cfg_.numSms, energy_)
+{
+    for (int s = 0; s < cfg_.numSms; ++s)
+        sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+            cfg_, s, memSystem_, energy_));
+    energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+}
+
+void
+GpuTop::requestVfState(PowerDomain domain, VfState target)
+{
+    ClockDomain &d =
+        domain == PowerDomain::Sm ? smDomain_ : memDomain_;
+    if (d.state() == target && !d.transitionPending())
+        return;
+    const Tick delay = vrmTransitionSmCycles * smDomain_.period();
+    d.scheduleState(target, d.nextEdge() + delay);
+}
+
+void
+GpuTop::setAllTargetBlocks(int target)
+{
+    for (const auto &sm : sms_)
+        sm->setTargetBlocks(target);
+}
+
+void
+GpuTop::distributeBlocks()
+{
+    // Breadth-first: one block per SM per sweep, so small grids spread
+    // across all SMs instead of piling onto the first few.
+    bool assigned = true;
+    while (assigned && gwde_.hasBlocks()) {
+        assigned = false;
+        for (const auto &sm : sms_) {
+            if (!gwde_.hasBlocks())
+                break;
+            if (sm->wantsBlock()) {
+                sm->assignBlock(gwde_.takeBlock());
+                assigned = true;
+            }
+        }
+    }
+}
+
+bool
+GpuTop::kernelDone() const
+{
+    if (gwde_.hasBlocks())
+        return false;
+    for (const auto &sm : sms_)
+        if (!sm->idle())
+            return false;
+    return true;
+}
+
+GpuTop::Snapshot
+GpuTop::takeSnapshot() const
+{
+    Snapshot s;
+    s.smCycles = smDomain_.cycle();
+    s.memCycles = memDomain_.cycle();
+    s.dynamicJoules = energy_.dynamicJoules();
+    for (const auto &sm : sms_) {
+        s.instructions += sm->instructionsIssued();
+        s.outcomes += sm->outcomeTotals();
+        s.l1Hits += sm->l1().hits();
+        s.l1Misses += sm->l1().misses();
+    }
+    s.l2Hits = memSystem_.l2Hits();
+    s.l2Misses = memSystem_.l2Misses();
+    s.dramAccesses = memSystem_.dramAccesses();
+    s.dramRowHits = memSystem_.dramRowHits();
+    s.dramPoweredDownCycles = memSystem_.dramPoweredDownCycles();
+    for (int i = 0; i < numVfStates; ++i) {
+        const auto v = static_cast<VfState>(i);
+        s.smResidency[static_cast<std::size_t>(i)] = smDomain_.residency(v);
+        s.memResidency[static_cast<std::size_t>(i)] =
+            memDomain_.residency(v);
+    }
+    return s;
+}
+
+RunMetrics
+GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
+{
+    currentKernel_ = &kernel;
+    gwde_.launch(kernel);
+    for (const auto &sm : sms_)
+        sm->setKernel(&kernel);
+
+    if (controller_)
+        controller_->onKernelLaunch(*this);
+
+    const Snapshot before = takeSnapshot();
+    const Cycle cycle_limit = smDomain_.cycle() + max_sm_cycles;
+
+    distributeBlocks();
+
+    while (!kernelDone()) {
+        if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
+            memDomain_.advance();
+            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+            memSystem_.tick(memDomain_.cycle());
+        } else {
+            smDomain_.advance();
+            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+            const Cycle mem_now = memDomain_.cycle();
+            for (const auto &sm : sms_)
+                sm->tick(mem_now);
+            distributeBlocks();
+            if (controller_)
+                controller_->onSmCycle(*this);
+            if (observer_)
+                observer_(*this);
+
+            if (smDomain_.cycle() > cycle_limit)
+                panic("kernel '", kernel.info().name,
+                      "' exceeded the cycle limit (", max_sm_cycles,
+                      " SM cycles); likely a deadlock");
+        }
+    }
+
+    if (controller_)
+        controller_->onKernelComplete(*this);
+
+    const Snapshot after = takeSnapshot();
+
+    RunMetrics m;
+    m.kernel = kernel.info().name;
+    m.smCycles = after.smCycles - before.smCycles;
+    m.memCycles = after.memCycles - before.memCycles;
+    m.instructions = after.instructions - before.instructions;
+    m.dynamicJoules = after.dynamicJoules - before.dynamicJoules;
+
+    std::array<Tick, numVfStates> sm_res{};
+    std::array<Tick, numVfStates> mem_res{};
+    Tick elapsed = 0;
+    for (std::size_t i = 0; i < numVfStates; ++i) {
+        sm_res[i] = after.smResidency[i] - before.smResidency[i];
+        mem_res[i] = after.memResidency[i] - before.memResidency[i];
+        elapsed += sm_res[i];
+    }
+    m.smResidency = sm_res;
+    m.memResidency = mem_res;
+    m.seconds = static_cast<double>(elapsed) /
+                static_cast<double>(ticksPerSecond);
+
+    const std::uint64_t pd_cycles =
+        after.dramPoweredDownCycles - before.dramPoweredDownCycles;
+    const std::uint64_t partition_cycles =
+        (after.memCycles - before.memCycles) *
+        static_cast<std::uint64_t>(memSystem_.numPartitions());
+    m.dramPowerDownFraction =
+        partition_cycles
+            ? static_cast<double>(pd_cycles) /
+                  static_cast<double>(partition_cycles)
+            : 0.0;
+    m.staticJoules = energy_.staticJoules(sm_res, mem_res,
+                                          m.dramPowerDownFraction);
+
+    m.outcomeTotals = after.outcomes;
+    m.outcomeTotals.active -= before.outcomes.active;
+    m.outcomeTotals.waiting -= before.outcomes.waiting;
+    m.outcomeTotals.issued -= before.outcomes.issued;
+    m.outcomeTotals.excessAlu -= before.outcomes.excessAlu;
+    m.outcomeTotals.excessMem -= before.outcomes.excessMem;
+    m.outcomeTotals.barrier -= before.outcomes.barrier;
+    m.outcomeTotals.unaccounted -= before.outcomes.unaccounted;
+    m.outcomeCycles = (after.smCycles - before.smCycles) *
+                      static_cast<std::uint64_t>(numSms());
+
+    m.l1Hits = after.l1Hits - before.l1Hits;
+    m.l1Misses = after.l1Misses - before.l1Misses;
+    m.l2Hits = after.l2Hits - before.l2Hits;
+    m.l2Misses = after.l2Misses - before.l2Misses;
+    m.dramAccesses = after.dramAccesses - before.dramAccesses;
+    m.dramRowHits = after.dramRowHits - before.dramRowHits;
+    return m;
+}
+
+RunMetrics
+GpuTop::runKernelsConcurrent(
+    const std::vector<const KernelLaunch *> &kernels, Cycle max_sm_cycles)
+{
+    EQ_ASSERT(!kernels.empty(), "runKernelsConcurrent with no kernels");
+    const int nk = static_cast<int>(kernels.size());
+
+    // One GWDE per kernel; SM i belongs to kernel i % nk.
+    std::vector<GlobalWorkDistributor> gwdes(
+        static_cast<std::size_t>(nk));
+    for (int k = 0; k < nk; ++k)
+        gwdes[static_cast<std::size_t>(k)].launch(
+            *kernels[static_cast<std::size_t>(k)]);
+
+    currentKernel_ = nullptr; // no single identity for the co-run
+    for (int s = 0; s < numSms(); ++s)
+        sms_[static_cast<std::size_t>(s)]->setKernel(
+            kernels[static_cast<std::size_t>(s % nk)]);
+
+    if (controller_)
+        controller_->onKernelLaunch(*this);
+
+    auto distribute = [&] {
+        bool assigned = true;
+        while (assigned) {
+            assigned = false;
+            for (int s = 0; s < numSms(); ++s) {
+                auto &gwde = gwdes[static_cast<std::size_t>(s % nk)];
+                auto &sm = *sms_[static_cast<std::size_t>(s)];
+                if (gwde.hasBlocks() && sm.wantsBlock()) {
+                    sm.assignBlock(gwde.takeBlock());
+                    assigned = true;
+                }
+            }
+        }
+    };
+
+    auto all_done = [&] {
+        for (const auto &g : gwdes)
+            if (g.hasBlocks())
+                return false;
+        for (const auto &sm : sms_)
+            if (!sm->idle())
+                return false;
+        return true;
+    };
+
+    const Snapshot before = takeSnapshot();
+    const Cycle cycle_limit = smDomain_.cycle() + max_sm_cycles;
+
+    distribute();
+    while (!all_done()) {
+        if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
+            memDomain_.advance();
+            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+            memSystem_.tick(memDomain_.cycle());
+        } else {
+            smDomain_.advance();
+            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+            const Cycle mem_now = memDomain_.cycle();
+            for (const auto &sm : sms_)
+                sm->tick(mem_now);
+            distribute();
+            if (controller_)
+                controller_->onSmCycle(*this);
+            if (observer_)
+                observer_(*this);
+            if (smDomain_.cycle() > cycle_limit)
+                panic("concurrent kernel run exceeded the cycle limit (",
+                      max_sm_cycles, " SM cycles); likely a deadlock");
+        }
+    }
+
+    if (controller_)
+        controller_->onKernelComplete(*this);
+
+    const Snapshot after = takeSnapshot();
+    RunMetrics m;
+    m.kernel = "concurrent";
+    for (const auto *k : kernels)
+        m.kernel += ":" + k->info().name;
+    m.smCycles = after.smCycles - before.smCycles;
+    m.memCycles = after.memCycles - before.memCycles;
+    m.instructions = after.instructions - before.instructions;
+    m.dynamicJoules = after.dynamicJoules - before.dynamicJoules;
+
+    std::array<Tick, numVfStates> sm_res{};
+    std::array<Tick, numVfStates> mem_res{};
+    Tick elapsed = 0;
+    for (std::size_t i = 0; i < numVfStates; ++i) {
+        sm_res[i] = after.smResidency[i] - before.smResidency[i];
+        mem_res[i] = after.memResidency[i] - before.memResidency[i];
+        elapsed += sm_res[i];
+    }
+    m.smResidency = sm_res;
+    m.memResidency = mem_res;
+    m.seconds = static_cast<double>(elapsed) /
+                static_cast<double>(ticksPerSecond);
+    m.staticJoules = energy_.staticJoules(sm_res, mem_res);
+
+    m.l1Hits = after.l1Hits - before.l1Hits;
+    m.l1Misses = after.l1Misses - before.l1Misses;
+    m.l2Hits = after.l2Hits - before.l2Hits;
+    m.l2Misses = after.l2Misses - before.l2Misses;
+    m.dramAccesses = after.dramAccesses - before.dramAccesses;
+    m.dramRowHits = after.dramRowHits - before.dramRowHits;
+    m.outcomeCycles = (after.smCycles - before.smCycles) *
+                      static_cast<std::uint64_t>(numSms());
+    return m;
+}
+
+} // namespace equalizer

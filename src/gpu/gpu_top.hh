@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The whole GPU: clock domains, SMs, memory system, energy accounting,
+ * work distribution and the controller hook.
+ */
+
+#ifndef EQ_GPU_GPU_TOP_HH
+#define EQ_GPU_GPU_TOP_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/controller.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/gwde.hh"
+#include "gpu/kernel_launch.hh"
+#include "gpu/metrics.hh"
+#include "gpu/sm.hh"
+#include "mem/memory_system.hh"
+#include "power/energy_model.hh"
+#include "sim/clock_domain.hh"
+
+namespace equalizer
+{
+
+/** Latency of a VF transition once committed (paper: 512 SM cycles). */
+inline constexpr Cycle vrmTransitionSmCycles = 512;
+
+/**
+ * Top-level GPU model.
+ *
+ * runKernel() executes one kernel invocation to completion, interleaving
+ * the SM and memory clock domains in global-time order, and returns the
+ * invocation's metrics. The instance retains architectural state (VF
+ * states, controller state, L2 contents) across invocations, so an
+ * application is simulated by calling runKernel repeatedly.
+ */
+class GpuTop
+{
+  public:
+    explicit GpuTop(GpuConfig cfg = GpuConfig::gtx480(),
+                    PowerConfig power = PowerConfig::gtx480());
+
+    /** Install the runtime policy (non-owning; may be nullptr). */
+    void setController(GpuController *controller)
+    {
+        controller_ = controller;
+    }
+
+    /**
+     * Install a per-SM-cycle observer (tracing for figures). Runs after
+     * the controller hook.
+     */
+    void setCycleObserver(std::function<void(GpuTop &)> observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /**
+     * Execute one kernel invocation to completion.
+     *
+     * @param kernel The launch to run.
+     * @param max_sm_cycles Safety valve: panic when exceeded.
+     */
+    RunMetrics runKernel(const KernelLaunch &kernel,
+                         Cycle max_sm_cycles = 2'000'000'000ULL);
+
+    /**
+     * Execute several kernels concurrently, each on its own SM
+     * partition (SM i runs kernels[i % kernels.size()]), as newer GPU
+     * generations allow — the scenario the paper cites as motivation
+     * for per-SM decision making (Section I). Equalizer's per-SM block
+     * tuning still works per kernel; the single global VRM must
+     * compromise between the kernels' frequency preferences.
+     *
+     * @return Combined metrics over the co-run.
+     */
+    RunMetrics
+    runKernelsConcurrent(const std::vector<const KernelLaunch *> &kernels,
+                         Cycle max_sm_cycles = 2'000'000'000ULL);
+
+    /**
+     * Request a VF state change on one domain. Takes effect after the
+     * VRM transition latency (512 SM cycles), paper Section V-A1.
+     */
+    void requestVfState(PowerDomain domain, VfState target);
+
+    // --- Component access (controllers, tests, harness).
+    int numSms() const { return static_cast<int>(sms_.size()); }
+
+    StreamingMultiprocessor &sm(int i)
+    {
+        return *sms_[static_cast<std::size_t>(i)];
+    }
+
+    const StreamingMultiprocessor &sm(int i) const
+    {
+        return *sms_[static_cast<std::size_t>(i)];
+    }
+
+    ClockDomain &smDomain() { return smDomain_; }
+    ClockDomain &memDomain() { return memDomain_; }
+    const ClockDomain &smDomain() const { return smDomain_; }
+    const ClockDomain &memDomain() const { return memDomain_; }
+
+    MemorySystem &memorySystem() { return memSystem_; }
+    EnergyModel &energy() { return energy_; }
+    GlobalWorkDistributor &gwde() { return gwde_; }
+
+    const GpuConfig &config() const { return cfg_; }
+
+    /** The launch currently (or most recently) running. */
+    const KernelLaunch *currentKernel() const { return currentKernel_; }
+
+    /** Uniformly set every SM's target block count. */
+    void setAllTargetBlocks(int target);
+
+  private:
+    struct Snapshot
+    {
+        Cycle smCycles = 0;
+        Cycle memCycles = 0;
+        std::uint64_t instructions = 0;
+        double dynamicJoules = 0.0;
+        WarpStateCounts outcomes;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t dramAccesses = 0;
+        std::uint64_t dramRowHits = 0;
+        std::uint64_t dramPoweredDownCycles = 0;
+        std::array<Tick, numVfStates> smResidency{};
+        std::array<Tick, numVfStates> memResidency{};
+    };
+
+    Snapshot takeSnapshot() const;
+    void distributeBlocks();
+    bool kernelDone() const;
+
+    GpuConfig cfg_;
+    EnergyModel energy_;
+    ClockDomain smDomain_;
+    ClockDomain memDomain_;
+    MemorySystem memSystem_;
+    std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+    GlobalWorkDistributor gwde_;
+
+    GpuController *controller_ = nullptr;
+    std::function<void(GpuTop &)> observer_;
+    const KernelLaunch *currentKernel_ = nullptr;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_GPU_TOP_HH

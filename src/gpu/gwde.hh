@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Global Work Distribution Engine: hands thread blocks to SMs.
+ */
+
+#ifndef EQ_GPU_GWDE_HH
+#define EQ_GPU_GWDE_HH
+
+#include "common/types.hh"
+#include "gpu/kernel_launch.hh"
+
+namespace equalizer
+{
+
+/**
+ * Tracks the grid of the running kernel and dispenses block ids in
+ * launch order. SMs pull blocks when they have (and want) a free slot;
+ * Equalizer's concurrency throttling works by making SMs stop pulling.
+ */
+class GlobalWorkDistributor
+{
+  public:
+    /** Begin distributing a new kernel's grid. */
+    void
+    launch(const KernelLaunch &kernel)
+    {
+        total_ = kernel.info().totalBlocks;
+        next_ = 0;
+    }
+
+    bool hasBlocks() const { return next_ < total_; }
+
+    /** Dispense the next block id; hasBlocks() must hold. */
+    BlockId
+    takeBlock()
+    {
+        return next_++;
+    }
+
+    int remaining() const { return total_ - next_; }
+    int total() const { return total_; }
+
+  private:
+    int total_ = 0;
+    BlockId next_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_GWDE_HH

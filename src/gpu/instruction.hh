@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The abstract warp instruction consumed by the SM pipeline model.
+ *
+ * Instruction streams are synthetic (see DESIGN.md): each instruction
+ * carries exactly the microarchitectural information the timing model
+ * needs — operation class, dependence on earlier results, and, for memory
+ * operations, the coalesced line addresses.
+ */
+
+#ifndef EQ_GPU_INSTRUCTION_HH
+#define EQ_GPU_INSTRUCTION_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/** Functional class of a warp instruction. */
+enum class OpClass
+{
+    Alu,    ///< integer/float arithmetic
+    Sfu,    ///< special function (transcendental)
+    Mem,    ///< global/texture load or store
+    Shared, ///< on-chip scratchpad (shared memory) access
+    Sync,   ///< block-wide barrier
+};
+
+/** SIMT width of a warp. */
+inline constexpr int warpLanes = 32;
+
+/** Maximum coalesced 128 B transactions per warp memory instruction. */
+inline constexpr int maxTransactionsPerInst = 32;
+
+/** One decoded warp instruction at the head of the instruction buffer. */
+struct WarpInstruction
+{
+    OpClass op = OpClass::Alu;
+
+    /**
+     * Active SIMT lanes (branch divergence): fewer lanes do the same
+     * work in time but burn proportionally less datapath energy.
+     */
+    int activeLanes = warpLanes;
+
+    /**
+     * For Shared ops: bank-conflict serialization factor. A conflicted
+     * access occupies the shared-memory pipe for this many cycles.
+     */
+    int conflictWays = 1;
+
+    /**
+     * True when this instruction reads the result of the warp's previous
+     * arithmetic instruction (stalls until its latency elapses).
+     */
+    bool dependsOnPrev = false;
+
+    /**
+     * True when this instruction consumes data from the warp's
+     * outstanding loads (stalls until pendingLoads reaches zero).
+     */
+    bool dependsOnLoads = false;
+
+    // --- Memory-instruction payload.
+    bool write = false;
+    bool texture = false;
+    int transactionCount = 0;
+    std::array<Addr, maxTransactionsPerInst> lineAddrs{};
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_INSTRUCTION_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The contract between the GPU model and a workload: a kernel launch
+ * produces one instruction stream per warp.
+ */
+
+#ifndef EQ_GPU_KERNEL_LAUNCH_HH
+#define EQ_GPU_KERNEL_LAUNCH_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "gpu/instruction.hh"
+
+namespace equalizer
+{
+
+/** Per-warp program: a generator of WarpInstructions. */
+class InstructionStream
+{
+  public:
+    virtual ~InstructionStream() = default;
+
+    /**
+     * Produce the warp's next instruction.
+     * @return false when the warp has retired (out is untouched).
+     */
+    virtual bool next(WarpInstruction &out) = 0;
+};
+
+/** Structural facts about a launch. */
+struct KernelInfo
+{
+    std::string name;
+    int totalBlocks = 1;    ///< grid size in thread blocks
+    int warpsPerBlock = 1;  ///< W_cta
+    int maxBlocksPerSm = 8; ///< occupancy limit from registers/smem
+};
+
+/**
+ * A kernel launch: structural info plus a factory for warp programs.
+ *
+ * Implementations must be deterministic: the stream for (block, warp) is
+ * a pure function of those coordinates (plus the kernel's own seed).
+ */
+class KernelLaunch
+{
+  public:
+    virtual ~KernelLaunch() = default;
+
+    virtual const KernelInfo &info() const = 0;
+
+    /** Create the instruction stream of one warp of one block. */
+    virtual std::unique_ptr<InstructionStream>
+    makeWarpStream(BlockId block, int warp_in_block) const = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_KERNEL_LAUNCH_HH

@@ -1,0 +1,83 @@
+#include "lsu.hh"
+
+namespace equalizer
+{
+
+LoadStoreUnit::LoadStoreUnit(const GpuConfig &cfg, SmId sm, L1Cache &l1,
+                             MemorySystem &mem_system)
+    : cfg_(cfg), sm_(sm), l1_(l1), memSystem_(mem_system),
+      hitWakeups_(/*capacity=*/4096)
+{
+}
+
+void
+LoadStoreUnit::accept(WarpId warp, const WarpInstruction &inst)
+{
+    EQ_ASSERT(canAccept(), "LSU accept() without canAccept()");
+    EQ_ASSERT(inst.op == OpClass::Mem, "LSU fed a non-memory instruction");
+    queue_.push_back(Entry{warp, inst, 0});
+    acceptedThisCycle_ = true;
+}
+
+void
+LoadStoreUnit::tick(Cycle sm_now)
+{
+    if (queue_.empty())
+        return;
+
+    int budget = cfg_.lsuThroughput;
+    Entry &head = queue_.front();
+
+    while (budget > 0 && head.next < head.inst.transactionCount) {
+        const Addr line =
+            head.inst.lineAddrs[static_cast<std::size_t>(head.next)];
+
+        if (head.inst.texture) {
+            // Texture path: deep buffering downstream, bypasses the L1.
+            auto &tq = memSystem_.texInjectQueue(sm_);
+            if (tq.full()) {
+                ++blockedCycles_;
+                return;
+            }
+            tq.push(MemAccess{line, sm_, head.warp, head.inst.write,
+                              /*texture=*/true});
+        } else {
+            const auto result =
+                l1_.access(head.warp, line, head.inst.write);
+            if (result == L1Cache::Result::Blocked) {
+                ++blockedCycles_;
+                return;
+            }
+            if (result == L1Cache::Result::Hit && !head.inst.write) {
+                const bool ok = hitWakeups_.push(
+                    head.warp, sm_now + cfg_.mem.l1HitLatency);
+                EQ_ASSERT(ok, "hit-wakeup queue overflow");
+            }
+        }
+        ++head.next;
+        ++transactions_;
+        --budget;
+    }
+
+    if (head.next >= head.inst.transactionCount)
+        queue_.pop_front();
+}
+
+std::vector<WarpId>
+LoadStoreUnit::drainHitWakeups(Cycle sm_now)
+{
+    std::vector<WarpId> out;
+    while (auto warp = hitWakeups_.popReady(sm_now))
+        out.push_back(*warp);
+    return out;
+}
+
+void
+LoadStoreUnit::reset()
+{
+    queue_.clear();
+    hitWakeups_.clear();
+    acceptedThisCycle_ = false;
+}
+
+} // namespace equalizer

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The load/store unit of one SM: a bounded queue of warp memory
+ * instructions whose coalesced transactions are presented to the L1 (or
+ * the texture path) at a fixed rate. When downstream resources fill, the
+ * head blocks and the queue backs up — the condition that makes ready
+ * memory warps X_mem.
+ */
+
+#ifndef EQ_GPU_LSU_HH
+#define EQ_GPU_LSU_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/instruction.hh"
+#include "mem/l1_cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/queues.hh"
+
+namespace equalizer
+{
+
+/** LD/ST pipeline of one SM. */
+class LoadStoreUnit
+{
+  public:
+    LoadStoreUnit(const GpuConfig &cfg, SmId sm, L1Cache &l1,
+                  MemorySystem &mem_system);
+
+    /** Reset the one-accept-per-cycle gate; call at the top of a cycle. */
+    void beginCycle() { acceptedThisCycle_ = false; }
+
+    /**
+     * Whether a new warp memory instruction can enter the pipe this
+     * cycle (at most one per cycle; queue must have room).
+     */
+    bool
+    canAccept() const
+    {
+        return !acceptedThisCycle_ &&
+               static_cast<int>(queue_.size()) < cfg_.lsuQueueDepth;
+    }
+
+    /** Enqueue a warp memory instruction (canAccept() must hold). */
+    void accept(WarpId warp, const WarpInstruction &inst);
+
+    /**
+     * Process the head instruction: present up to lsuThroughput
+     * transactions to the L1 / texture path; stop on a Blocked result.
+     */
+    void tick(Cycle sm_now);
+
+    /**
+     * Pop warps whose L1-hit data becomes available at @p sm_now.
+     * The caller decrements their pendingLoads.
+     */
+    std::vector<WarpId> drainHitWakeups(Cycle sm_now);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    std::uint64_t transactionsIssued() const { return transactions_; }
+    std::uint64_t blockedCycles() const { return blockedCycles_; }
+
+    /** Drop all buffered work (kernel boundary). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        WarpId warp;
+        WarpInstruction inst;
+        int next = 0; ///< next transaction index
+    };
+
+    const GpuConfig &cfg_;
+    SmId sm_;
+    L1Cache &l1_;
+    MemorySystem &memSystem_;
+
+    std::deque<Entry> queue_;
+    bool acceptedThisCycle_ = false;
+
+    DelayQueue<WarpId> hitWakeups_;
+
+    std::uint64_t transactions_ = 0;
+    std::uint64_t blockedCycles_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_LSU_HH

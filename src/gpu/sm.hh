@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The streaming multiprocessor: warp contexts, dual-issue warp
+ * scheduling, block (CTA) slots with pause bits, the LSU and the L1.
+ */
+
+#ifndef EQ_GPU_SM_HH
+#define EQ_GPU_SM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel_launch.hh"
+#include "gpu/lsu.hh"
+#include "gpu/warp.hh"
+#include "gpu/warp_state.hh"
+#include "mem/l1_cache.hh"
+#include "mem/memory_system.hh"
+#include "power/energy_model.hh"
+
+namespace equalizer
+{
+
+/**
+ * One SM.
+ *
+ * Warp slots are grouped into block slots of W_cta consecutive warps.
+ * Each SM cycle: memory responses are drained, the warp scheduler makes
+ * a dual-issue pass (recording every warp's WarpOutcome — the substrate
+ * of Equalizer's counters), and the LSU pushes transactions toward the
+ * L1/memory system. CTA pausing masks whole block slots out of both
+ * scheduling and the counters, per paper Section IV.
+ */
+class StreamingMultiprocessor
+{
+  public:
+    /** Callback fired when a block fully retires: (sm, block id). */
+    using BlockCompleteHook = std::function<void(SmId, BlockId)>;
+
+    /** CCWS-style gate: may this warp issue a memory instruction now? */
+    using MemIssueFilter = std::function<bool(WarpId)>;
+
+    StreamingMultiprocessor(const GpuConfig &cfg, SmId id,
+                            MemorySystem &mem_system, EnergyModel &energy);
+
+    /** Bind a kernel; clears all slots and per-kernel state. */
+    void setKernel(const KernelLaunch *kernel);
+
+    /** Effective block-slot count for the bound kernel. */
+    int blockSlotCount() const { return blockSlots_; }
+
+    /** Number of occupied block slots. */
+    int residentBlocks() const;
+
+    /** Number of occupied, unpaused block slots. */
+    int unpausedBlocks() const;
+
+    /** Whether a fresh block can be placed. */
+    bool hasFreeSlot() const;
+
+    /**
+     * Whether the SM wants another block from the GWDE: a free slot
+     * exists, no paused block is available to unpause, and the resident
+     * unpaused count is below target.
+     */
+    bool wantsBlock() const;
+
+    /** Install a block into a free slot and spawn its warp streams. */
+    void assignBlock(BlockId block);
+
+    /**
+     * Set the desired number of concurrently *running* blocks.
+     * Decreases take effect by pausing the youngest running blocks;
+     * increases first unpause, then leave room for GWDE requests.
+     * Clamped to [1, blockSlotCount()].
+     */
+    void setTargetBlocks(int target);
+
+    int targetBlocks() const { return targetBlocks_; }
+
+    /** Advance one SM cycle. @param mem_now current memory-domain cycle. */
+    void tick(Cycle mem_now);
+
+    /** No resident blocks. */
+    bool idle() const { return residentBlocks() == 0; }
+
+    /** Warp states observed in the most recent cycle. */
+    WarpStateCounts sampleStates() const;
+
+    Cycle cycle() const { return cycle_; }
+
+    L1Cache &l1() { return l1_; }
+    const L1Cache &l1() const { return l1_; }
+    LoadStoreUnit &lsu() { return lsu_; }
+
+    void setBlockCompleteHook(BlockCompleteHook hook)
+    {
+        onBlockComplete_ = std::move(hook);
+    }
+
+    void setMemIssueFilter(MemIssueFilter filter)
+    {
+        memIssueFilter_ = std::move(filter);
+    }
+
+    // --- Aggregate statistics (since setKernel or resetStats).
+    std::uint64_t instructionsIssued() const { return issued_; }
+    std::uint64_t activeCycles() const { return activeCycles_; }
+    const WarpStateCounts &outcomeTotals() const { return outcomeTotals_; }
+    std::uint64_t blocksCompleted() const { return blocksCompleted_; }
+
+    /** Zero statistic accumulators (not architectural state). */
+    void resetStats();
+
+    int warpsPerBlock() const { return warpsPerBlock_; }
+
+    /** Read-only view of one warp slot (tests and tracing). */
+    const WarpSlot &warp(WarpId w) const
+    {
+        return warps_[static_cast<std::size_t>(w)];
+    }
+
+  private:
+    struct BlockSlot
+    {
+        bool occupied = false;
+        bool paused = false;
+        BlockId block = -1;
+        int warpsDone = 0;
+        std::uint64_t assignOrder = 0; ///< for youngest-first pausing
+    };
+
+    /** Warp range of a block slot. */
+    int firstWarpOf(int slot) const { return slot * warpsPerBlock_; }
+
+    void schedulePass();
+    void refillInstruction(WarpSlot &w);
+    void handleRetirement(WarpId wid);
+    void releaseBarriers();
+    void applyPauseState();
+
+    const GpuConfig &cfg_;
+    SmId id_;
+    MemorySystem &memSystem_;
+    EnergyModel &energy_;
+
+    L1Cache l1_;
+    LoadStoreUnit lsu_;
+
+    const KernelLaunch *kernel_ = nullptr;
+    int warpsPerBlock_ = 1;
+    int blockSlots_ = 0;
+
+    std::vector<WarpSlot> warps_;
+    std::vector<BlockSlot> blocks_;
+    std::vector<bool> warpRetiredCounted_;
+
+    int targetBlocks_ = 1;
+    std::uint64_t assignCounter_ = 0;
+
+    Cycle cycle_ = 0;
+    int rrStart_ = 0;   ///< LRR rotation pointer
+    int greedyWarp_ = 0;///< GTO priority head
+    Cycle smemBusyUntil_ = 0; ///< shared-memory pipe occupancy
+
+    BlockCompleteHook onBlockComplete_;
+    MemIssueFilter memIssueFilter_;
+
+    std::uint64_t issued_ = 0;
+    std::uint64_t activeCycles_ = 0;
+    std::uint64_t blocksCompleted_ = 0;
+    WarpStateCounts outcomeTotals_;
+    WarpStateCounts lastCounts_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_SM_HH

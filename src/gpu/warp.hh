@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-warp execution context and the warp-state taxonomy of the paper.
+ */
+
+#ifndef EQ_GPU_WARP_HH
+#define EQ_GPU_WARP_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "gpu/instruction.hh"
+#include "gpu/kernel_launch.hh"
+
+namespace equalizer
+{
+
+/**
+ * Scheduling outcome of a warp in a cycle — the observable the paper's
+ * four counters are built from (Section III-A).
+ */
+enum class WarpOutcome
+{
+    Unaccounted, ///< no valid instruction-buffer entry (or slot empty)
+    Paused,      ///< CTA-paused: excluded from scheduling and counters
+    Waiting,     ///< operands not ready (scoreboard)
+    Issued,      ///< issued an instruction this cycle
+    ExcessAlu,   ///< ready for the arithmetic pipe, no issue slot (X_alu)
+    ExcessMem,   ///< ready for the LD/ST pipe, blocked (X_mem)
+    Barrier,     ///< waiting on a block-wide barrier ("Others")
+    Done,        ///< retired
+};
+
+/** One warp slot of an SM. */
+struct WarpSlot
+{
+    bool active = false;      ///< a warp is resident in this slot
+    bool paused = false;      ///< CTA pause bit (instruction buffer mask)
+    int blockSlot = -1;       ///< owning block slot on the SM
+    BlockId block = -1;       ///< global block id (for debugging)
+
+    std::unique_ptr<InstructionStream> stream;
+    bool hasInst = false;     ///< instruction-buffer head valid
+    WarpInstruction inst;     ///< head instruction
+    int nextTransaction = 0;  ///< progress through inst's transactions
+
+    int pendingLoads = 0;     ///< outstanding load transactions
+    Cycle readyAt = 0;        ///< scoreboard: earliest issue cycle
+    Cycle lastIssueCycle = 0;
+    Cycle lastResultLatency = 0;
+
+    bool atBarrier = false;   ///< parked at a Sync instruction
+    bool streamDone = false;  ///< generator exhausted
+
+    /// Outcome of the most recent scheduling pass (sampled by Equalizer).
+    WarpOutcome outcome = WarpOutcome::Unaccounted;
+
+    /** Fully retired: program finished and all loads returned. */
+    bool
+    retired() const
+    {
+        return active && streamDone && !hasInst && pendingLoads == 0;
+    }
+
+    /** Clear the slot for a new warp. */
+    void
+    reset()
+    {
+        active = false;
+        paused = false;
+        blockSlot = -1;
+        block = -1;
+        stream.reset();
+        hasInst = false;
+        nextTransaction = 0;
+        pendingLoads = 0;
+        readyAt = 0;
+        lastIssueCycle = 0;
+        lastResultLatency = 0;
+        atBarrier = false;
+        streamDone = false;
+        outcome = WarpOutcome::Unaccounted;
+    }
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_WARP_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Aggregated warp-state counts — one sample of the four Equalizer
+ * counters (plus companions used for analysis figures).
+ */
+
+#ifndef EQ_GPU_WARP_STATE_HH
+#define EQ_GPU_WARP_STATE_HH
+
+#include <cstdint>
+
+namespace equalizer
+{
+
+/**
+ * Counts of warps per state. Used both for a single-cycle sample on one
+ * SM (values <= warp count) and as a whole-run accumulator, hence the
+ * wide integer type.
+ */
+struct WarpStateCounts
+{
+    std::int64_t active = 0;     ///< unpaused, accounted warps
+    std::int64_t waiting = 0;    ///< scoreboard-stalled warps
+    std::int64_t issued = 0;     ///< warps that issued this cycle
+    std::int64_t excessAlu = 0;  ///< X_alu: ready-ALU, no issue slot
+    std::int64_t excessMem = 0;  ///< X_mem: ready-MEM, pipe blocked
+    std::int64_t barrier = 0;    ///< "Others": barrier / no instruction
+    std::int64_t unaccounted = 0;
+
+    WarpStateCounts &
+    operator+=(const WarpStateCounts &o)
+    {
+        active += o.active;
+        waiting += o.waiting;
+        issued += o.issued;
+        excessAlu += o.excessAlu;
+        excessMem += o.excessMem;
+        barrier += o.barrier;
+        unaccounted += o.unaccounted;
+        return *this;
+    }
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_WARP_STATE_HH

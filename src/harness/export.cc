@@ -1,0 +1,129 @@
+#include "export.hh"
+
+#include <sstream>
+
+namespace equalizer
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+MetricsExporter::addResult(const std::string &kernel,
+                           const std::string &policy,
+                           const RunMetrics &total,
+                           const std::vector<RunMetrics> &invocations)
+{
+    for (std::size_t i = 0; i < invocations.size(); ++i)
+        add(MetricsRow{kernel, policy, static_cast<int>(i),
+                       invocations[i]});
+    add(MetricsRow{kernel, policy, -1, total});
+}
+
+const std::vector<std::string> &
+MetricsExporter::columns()
+{
+    static const std::vector<std::string> cols = {
+        "kernel",         "policy",         "invocation",
+        "seconds",        "sm_cycles",      "mem_cycles",
+        "instructions",   "ipc",            "dynamic_joules",
+        "static_joules",  "total_joules",   "l1_hit_rate",
+        "l2_hits",        "l2_misses",      "dram_accesses",
+        "dram_row_hits",  "waiting_frac",   "xmem_frac",
+        "xalu_frac",      "sm_high_frac",   "sm_low_frac",
+        "mem_high_frac",  "mem_low_frac",   "dram_pd_frac",
+    };
+    return cols;
+}
+
+std::vector<std::string>
+MetricsExporter::values(const MetricsRow &row)
+{
+    const RunMetrics &m = row.metrics;
+    const double active =
+        std::max<double>(1.0, static_cast<double>(m.outcomeTotals.active));
+    Tick total_res = 0;
+    for (auto t : m.smResidency)
+        total_res += t;
+    auto res_frac = [total_res](Tick t) {
+        return total_res
+                   ? static_cast<double>(t) / static_cast<double>(total_res)
+                   : 0.0;
+    };
+
+    return {
+        row.kernel,
+        row.policy,
+        std::to_string(row.invocation),
+        num(m.seconds),
+        std::to_string(m.smCycles),
+        std::to_string(m.memCycles),
+        std::to_string(m.instructions),
+        num(m.ipc()),
+        num(m.dynamicJoules),
+        num(m.staticJoules),
+        num(m.totalJoules()),
+        num(m.l1HitRate()),
+        std::to_string(m.l2Hits),
+        std::to_string(m.l2Misses),
+        std::to_string(m.dramAccesses),
+        std::to_string(m.dramRowHits),
+        num(static_cast<double>(m.outcomeTotals.waiting) / active),
+        num(static_cast<double>(m.outcomeTotals.excessMem) / active),
+        num(static_cast<double>(m.outcomeTotals.excessAlu) / active),
+        num(res_frac(m.smResidency[static_cast<int>(VfState::High)])),
+        num(res_frac(m.smResidency[static_cast<int>(VfState::Low)])),
+        num(res_frac(m.memResidency[static_cast<int>(VfState::High)])),
+        num(res_frac(m.memResidency[static_cast<int>(VfState::Low)])),
+        num(m.dramPowerDownFraction),
+    };
+}
+
+void
+MetricsExporter::writeCsv(std::ostream &os) const
+{
+    const auto &cols = columns();
+    for (std::size_t c = 0; c < cols.size(); ++c)
+        os << (c ? "," : "") << cols[c];
+    os << '\n';
+    for (const auto &row : rows_) {
+        const auto vals = values(row);
+        for (std::size_t c = 0; c < vals.size(); ++c)
+            os << (c ? "," : "") << vals[c];
+        os << '\n';
+    }
+}
+
+void
+MetricsExporter::writeJson(std::ostream &os) const
+{
+    const auto &cols = columns();
+    os << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto vals = values(rows_[r]);
+        os << "  {";
+        for (std::size_t c = 0; c < cols.size(); ++c) {
+            os << (c ? ", " : "") << '"' << cols[c] << "\": ";
+            // Identity columns are strings; the rest are numeric.
+            if (c < 2)
+                os << '"' << vals[c] << '"';
+            else
+                os << vals[c];
+        }
+        os << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+} // namespace equalizer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable export of run metrics (CSV / JSON) for plotting the
+ * figures outside the simulator.
+ */
+
+#ifndef EQ_HARNESS_EXPORT_HH
+#define EQ_HARNESS_EXPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gpu/metrics.hh"
+
+namespace equalizer
+{
+
+/** One exported row: identity plus its measurements. */
+struct MetricsRow
+{
+    std::string kernel;
+    std::string policy;
+    int invocation = -1; ///< -1 = whole-application total
+    RunMetrics metrics;
+};
+
+/** Streams MetricsRow collections as CSV or JSON. */
+class MetricsExporter
+{
+  public:
+    /** Append one row. */
+    void add(MetricsRow row) { rows_.push_back(std::move(row)); }
+
+    /** Append all invocations (and the total) of a harness result. */
+    void addResult(const std::string &kernel, const std::string &policy,
+                   const RunMetrics &total,
+                   const std::vector<RunMetrics> &invocations);
+
+    /** Column header order of the CSV form. */
+    static const std::vector<std::string> &columns();
+
+    /** Render all rows as CSV (header + one line per row). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Render all rows as a JSON array of objects. */
+    void writeJson(std::ostream &os) const;
+
+    std::size_t size() const { return rows_.size(); }
+    void clear() { rows_.clear(); }
+
+  private:
+    static std::vector<std::string> values(const MetricsRow &row);
+
+    std::vector<MetricsRow> rows_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_HARNESS_EXPORT_HH

@@ -1,0 +1,93 @@
+#include "policies.hh"
+
+#include "baselines/ccws.hh"
+#include "baselines/dyncta.hh"
+#include "baselines/static_policy.hh"
+
+namespace equalizer
+{
+
+namespace policies
+{
+
+PolicySpec
+baseline()
+{
+    return PolicySpec{"baseline", nullptr};
+}
+
+PolicySpec
+smHigh()
+{
+    return PolicySpec{"sm-high", [] {
+                          return std::make_unique<StaticPolicy>(
+                              "sm-high", VfState::High, VfState::Normal);
+                      }};
+}
+
+PolicySpec
+smLow()
+{
+    return PolicySpec{"sm-low", [] {
+                          return std::make_unique<StaticPolicy>(
+                              "sm-low", VfState::Low, VfState::Normal);
+                      }};
+}
+
+PolicySpec
+memHigh()
+{
+    return PolicySpec{"mem-high", [] {
+                          return std::make_unique<StaticPolicy>(
+                              "mem-high", VfState::Normal, VfState::High);
+                      }};
+}
+
+PolicySpec
+memLow()
+{
+    return PolicySpec{"mem-low", [] {
+                          return std::make_unique<StaticPolicy>(
+                              "mem-low", VfState::Normal, VfState::Low);
+                      }};
+}
+
+PolicySpec
+staticBlocks(int blocks)
+{
+    const std::string name = "blocks-" + std::to_string(blocks);
+    return PolicySpec{name, [name, blocks] {
+                          return std::make_unique<StaticPolicy>(
+                              name, VfState::Normal, VfState::Normal,
+                              blocks);
+                      }};
+}
+
+PolicySpec
+equalizer(EqualizerMode mode, EqualizerConfig cfg)
+{
+    cfg.mode = mode;
+    const std::string name = mode == EqualizerMode::Energy
+                                 ? "equalizer-energy"
+                                 : "equalizer-perf";
+    return PolicySpec{name, [cfg] {
+                          return std::make_unique<EqualizerEngine>(cfg);
+                      }};
+}
+
+PolicySpec
+dynCta()
+{
+    return PolicySpec{"dyncta",
+                      [] { return std::make_unique<DynCta>(); }};
+}
+
+PolicySpec
+ccws()
+{
+    return PolicySpec{"ccws", [] { return std::make_unique<Ccws>(); }};
+}
+
+} // namespace policies
+
+} // namespace equalizer

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width table rendering for bench/example output.
+ */
+
+#ifndef EQ_HARNESS_REPORT_HH
+#define EQ_HARNESS_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace equalizer
+{
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 3);
+
+/** Format a fraction as a percentage string ("12.3%"). */
+std::string pct(double fraction, int precision = 1);
+
+/**
+ * A simple console table: set headers once, stream rows, print aligned.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Add one row; cell count must match the header count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to @p os with column alignment and a rule under headers. */
+    void print(std::ostream &os = std::cout) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("== Figure 7: ... =="). */
+void banner(const std::string &title, std::ostream &os = std::cout);
+
+} // namespace equalizer
+
+#endif // EQ_HARNESS_REPORT_HH

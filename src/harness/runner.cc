@@ -1,0 +1,88 @@
+#include "runner.hh"
+
+#include <cmath>
+
+#include "kernels/kernel_zoo.hh"
+
+namespace equalizer
+{
+
+double
+speedupOver(const RunMetrics &baseline, const RunMetrics &variant)
+{
+    return variant.seconds > 0.0 ? baseline.seconds / variant.seconds : 0.0;
+}
+
+double
+energyEfficiencyOver(const RunMetrics &baseline, const RunMetrics &variant)
+{
+    const double v = variant.totalJoules();
+    return v > 0.0 ? baseline.totalJoules() / v : 0.0;
+}
+
+double
+energyIncreaseOver(const RunMetrics &baseline, const RunMetrics &variant)
+{
+    const double b = baseline.totalJoules();
+    return b > 0.0 ? variant.totalJoules() / b - 1.0 : 0.0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+ExperimentRunner::ExperimentRunner(GpuConfig gpu_cfg, PowerConfig power_cfg)
+    : gpuCfg_(gpu_cfg), powerCfg_(power_cfg)
+{
+}
+
+AppRunResult
+ExperimentRunner::run(const KernelParams &kernel, const PolicySpec &policy,
+                      const Instrument &instrument)
+{
+    const std::string key = kernel.name + "\x1f" + policy.name;
+    if (!instrument) {
+        for (const auto &[k, v] : cache_)
+            if (k == key)
+                return v;
+    }
+
+    GpuTop gpu(gpuCfg_, powerCfg_);
+    auto controller = policy.build();
+    gpu.setController(controller.get());
+    if (instrument)
+        instrument(gpu, controller.get());
+
+    AppRunResult result;
+    result.kernel = kernel.name;
+    result.policy = policy.name;
+    result.total.kernel = kernel.name;
+
+    for (int inv = 0; inv < kernel.invocationCount(); ++inv) {
+        SyntheticKernel launch(kernel, inv);
+        RunMetrics m = gpu.runKernel(launch);
+        result.total += m;
+        result.invocations.push_back(std::move(m));
+    }
+
+    if (!instrument)
+        cache_.emplace_back(key, result);
+    return result;
+}
+
+AppRunResult
+ExperimentRunner::runByName(const std::string &kernel_name,
+                            const PolicySpec &policy,
+                            const Instrument &instrument)
+{
+    return run(KernelZoo::byName(kernel_name).params, policy, instrument);
+}
+
+} // namespace equalizer

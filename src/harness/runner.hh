@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The experiment runner: executes a kernel's full invocation schedule on
+ * a fresh GPU under a policy and aggregates the metrics.
+ */
+
+#ifndef EQ_HARNESS_RUNNER_HH
+#define EQ_HARNESS_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_top.hh"
+#include "harness/policies.hh"
+#include "kernels/kernel_params.hh"
+#include "kernels/synthetic_kernel.hh"
+#include "power/energy_model.hh"
+
+namespace equalizer
+{
+
+/** Result of running one application (all invocations of one kernel). */
+struct AppRunResult
+{
+    std::string kernel;
+    std::string policy;
+    RunMetrics total;                   ///< summed over invocations
+    std::vector<RunMetrics> invocations;
+};
+
+/** Relative performance: baseline time / variant time (>1 = faster). */
+double speedupOver(const RunMetrics &baseline, const RunMetrics &variant);
+
+/** Energy efficiency as the paper plots it: E_base / E_variant. */
+double energyEfficiencyOver(const RunMetrics &baseline,
+                            const RunMetrics &variant);
+
+/** Relative energy: E_variant / E_base - 1 (positive = more energy). */
+double energyIncreaseOver(const RunMetrics &baseline,
+                          const RunMetrics &variant);
+
+/** Geometric mean; empty input yields 1.0. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Runs kernels under policies on freshly constructed GPUs.
+ *
+ * A small cache keyed by (kernel, policy) avoids re-simulating the
+ * baseline for every figure that normalizes against it.
+ */
+class ExperimentRunner
+{
+  public:
+    /** Invoked after GPU construction, before the first invocation. */
+    using Instrument = std::function<void(GpuTop &, GpuController *)>;
+
+    explicit ExperimentRunner(GpuConfig gpu_cfg = GpuConfig::gtx480(),
+                              PowerConfig power_cfg = PowerConfig::gtx480());
+
+    /**
+     * Simulate every invocation of @p kernel under @p policy.
+     *
+     * @param instrument Optional hook for monitors/traces (disables the
+     *        result cache for that call).
+     */
+    AppRunResult run(const KernelParams &kernel, const PolicySpec &policy,
+                     const Instrument &instrument = {});
+
+    /** run() against the roster entry with this kernel name. */
+    AppRunResult runByName(const std::string &kernel_name,
+                           const PolicySpec &policy,
+                           const Instrument &instrument = {});
+
+    /** Clear the (kernel, policy) result cache. */
+    void clearCache() { cache_.clear(); }
+
+    const GpuConfig &gpuConfig() const { return gpuCfg_; }
+
+  private:
+    GpuConfig gpuCfg_;
+    PowerConfig powerCfg_;
+    std::vector<std::pair<std::string, AppRunResult>> cache_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_HARNESS_RUNNER_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameter space of the synthetic kernel zoo.
+ *
+ * Each Rodinia/Parboil kernel of the paper's Table II is modelled as a
+ * parameterized instruction-stream generator. The parameters control
+ * exactly the properties the Equalizer mechanism keys on: the ALU:MEM
+ * mix (compute pressure), coalescing and streaming volume (bandwidth
+ * pressure), per-warp working set and reuse (L1 sensitivity), dependence
+ * structure (latency tolerance), phases (intra-invocation variation) and
+ * per-invocation modifiers (inter-invocation variation).
+ */
+
+#ifndef EQ_KERNELS_KERNEL_PARAMS_HH
+#define EQ_KERNELS_KERNEL_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/** Paper Section II kernel taxonomy. */
+enum class KernelCategory
+{
+    Compute,     ///< contends for the arithmetic pipelines
+    Memory,      ///< saturates DRAM bandwidth
+    Cache,       ///< thrashes the L1 data cache at full occupancy
+    Unsaturated, ///< saturates nothing; has an inclination
+};
+
+const char *kernelCategoryName(KernelCategory c);
+
+/** One execution phase of a warp program. */
+struct PhaseParams
+{
+    /** Fraction of the warp's instructions spent in this phase. */
+    double weight = 1.0;
+
+    /** Arithmetic instructions emitted per memory instruction. */
+    double aluPerMem = 8.0;
+
+    /** Fraction of arithmetic that uses the SFU pipe. */
+    double sfuFraction = 0.0;
+
+    /** Probability an arithmetic instruction depends on its predecessor. */
+    double depProb = 0.3;
+
+    /**
+     * Arithmetic instructions between a load and its first consumer
+     * (compile-time scheduling distance; larger = more latency hiding).
+     */
+    int loadDepDistance = 2;
+
+    /** Coalesced 128 B transactions per streaming load. */
+    int transactionsPerLoad = 1;
+
+    /** Fraction of memory instructions that are stores. */
+    double storeFraction = 0.1;
+
+    /** Fraction of loads that target the per-warp working set. */
+    double reuseFraction = 0.9;
+
+    /** Per-warp reusable footprint in bytes. */
+    std::size_t workingSetBytes = 512;
+
+    /** Route loads through the texture path (deep buffering). */
+    bool texture = false;
+
+    /** Fraction of memory operations served by shared memory. */
+    double sharedFraction = 0.0;
+
+    /** Bank-conflict serialization of shared accesses (1 = none). */
+    int smemConflictWays = 1;
+
+    /**
+     * Branch divergence: probability an arithmetic instruction runs
+     * with a partial lane mask.
+     */
+    double divergence = 0.0;
+
+    /** Emit a block-wide barrier every this many instructions (0=off). */
+    int syncEvery = 0;
+};
+
+/** Per-invocation modifiers (inter-invocation variation, Fig 2a). */
+struct InvocationMod
+{
+    double lengthScale = 1.0;   ///< scales instructions per warp
+    double aluPerMemScale = 1.0;///< scales the compute:memory mix
+    double reuseOverride = -1.0;///< >= 0: replaces reuseFraction
+    double wsScale = 1.0;       ///< scales the working set
+    double blocksScale = 1.0;   ///< scales the grid size
+};
+
+/** Complete description of one kernel of the zoo. */
+struct KernelParams
+{
+    std::string name;
+    KernelCategory category = KernelCategory::Unsaturated;
+
+    int warpsPerBlock = 8;   ///< W_cta (paper Table II)
+    int maxBlocksPerSm = 6;  ///< occupancy limit (paper Table II)
+    int totalBlocks = 180;   ///< grid size
+    int instrsPerWarp = 1200;///< nominal warp program length
+
+    std::vector<PhaseParams> phases{PhaseParams{}};
+
+    /**
+     * Load imbalance (prtcl-2): the first @c longBlocks blocks run
+     * @c longBlockFactor times longer than the rest.
+     */
+    int longBlocks = 0;
+    double longBlockFactor = 1.0;
+
+    /** Invocation schedule; empty means a single nominal invocation. */
+    std::vector<InvocationMod> invocations;
+
+    std::uint64_t seed = 0x5eed;
+
+    /** Number of invocations the application performs. */
+    int
+    invocationCount() const
+    {
+        return invocations.empty()
+                   ? 1
+                   : static_cast<int>(invocations.size());
+    }
+
+    /** Modifier for one invocation (identity when unscheduled). */
+    InvocationMod
+    invocation(int index) const
+    {
+        if (invocations.empty())
+            return InvocationMod{};
+        return invocations[static_cast<std::size_t>(index) %
+                           invocations.size()];
+    }
+};
+
+} // namespace equalizer
+
+#endif // EQ_KERNELS_KERNEL_PARAMS_HH

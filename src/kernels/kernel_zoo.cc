@@ -1,0 +1,366 @@
+#include "kernel_zoo.hh"
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+namespace
+{
+
+/** Shorthand for a single-phase kernel. */
+KernelParams
+makeKernel(std::string name, KernelCategory cat, int wcta, int max_blocks,
+           int total_blocks, int instrs, PhaseParams phase,
+           std::uint64_t seed)
+{
+    KernelParams p;
+    p.name = std::move(name);
+    p.category = cat;
+    p.warpsPerBlock = wcta;
+    p.maxBlocksPerSm = max_blocks;
+    p.totalBlocks = total_blocks;
+    p.instrsPerWarp = instrs;
+    phase.weight = 1.0;
+    p.phases = {phase};
+    p.seed = seed;
+    return p;
+}
+
+/** Compute-intensive phase template. */
+PhaseParams
+computePhase(double alu_per_mem, double sfu = 0.05, double dep = 0.3)
+{
+    PhaseParams ph;
+    ph.aluPerMem = alu_per_mem;
+    ph.sfuFraction = sfu;
+    ph.depProb = dep;
+    ph.loadDepDistance = 4;
+    ph.transactionsPerLoad = 1;
+    ph.storeFraction = 0.05;
+    ph.reuseFraction = 0.95;
+    ph.workingSetBytes = 512;
+    return ph;
+}
+
+/** Bandwidth-bound streaming phase template. */
+PhaseParams
+memoryPhase(double alu_per_mem, int transactions, double stores = 0.2)
+{
+    PhaseParams ph;
+    ph.aluPerMem = alu_per_mem;
+    ph.sfuFraction = 0.0;
+    ph.depProb = 0.25;
+    ph.loadDepDistance = 2;
+    ph.transactionsPerLoad = transactions;
+    ph.storeFraction = stores;
+    ph.reuseFraction = 0.1;
+    ph.workingSetBytes = 1024;
+    return ph;
+}
+
+/** L1-sensitive phase template. */
+PhaseParams
+cachePhase(double alu_per_mem, std::size_t ws_bytes, double reuse,
+           double stores = 0.1)
+{
+    PhaseParams ph;
+    ph.aluPerMem = alu_per_mem;
+    ph.sfuFraction = 0.0;
+    ph.depProb = 0.3;
+    ph.loadDepDistance = 2;
+    ph.transactionsPerLoad = 2;
+    ph.storeFraction = stores;
+    ph.reuseFraction = reuse;
+    ph.workingSetBytes = ws_bytes;
+    return ph;
+}
+
+/** Latency-bound (unsaturated) phase template. */
+PhaseParams
+unsaturatedPhase(double alu_per_mem, double dep = 0.6)
+{
+    PhaseParams ph;
+    ph.aluPerMem = alu_per_mem;
+    ph.sfuFraction = 0.02;
+    ph.depProb = dep;
+    ph.loadDepDistance = 3;
+    ph.transactionsPerLoad = 1;
+    ph.storeFraction = 0.1;
+    ph.reuseFraction = 0.85;
+    ph.workingSetBytes = 512;
+    return ph;
+}
+
+std::vector<ZooEntry>
+buildRoster()
+{
+    std::vector<ZooEntry> zoo;
+    auto add = [&zoo](std::string app, double fraction, KernelParams p) {
+        zoo.push_back(ZooEntry{std::move(app), fraction, std::move(p)});
+    };
+
+    // ----------------------------------------------------------------
+    // Compute-intensive kernels (paper Figure 4, left group).
+    // ----------------------------------------------------------------
+    add("cutcp", 1.00,
+        makeKernel("cutcp", KernelCategory::Compute, 6, 8, 240, 1700,
+                   computePhase(24.0, 0.10), 0xc001));
+    {
+        // histo-2 accumulates bins in shared memory with conflicts.
+        auto ph = computePhase(20.0, 0.02);
+        ph.sharedFraction = 0.4;
+        ph.smemConflictWays = 2;
+        add("histo", 0.53,
+            makeKernel("histo-2", KernelCategory::Compute, 24, 3, 60,
+                       1700, ph, 0xc002));
+    }
+    add("lavaMD", 1.00,
+        makeKernel("lavaMD", KernelCategory::Compute, 4, 4, 180, 3400,
+                   computePhase(30.0, 0.08), 0xc003));
+    add("leukocyte", 0.36,
+        makeKernel("leuko-2", KernelCategory::Compute, 6, 3, 90, 2800,
+                   computePhase(22.0, 0.06), 0xc004));
+    add("mri-g", 0.13,
+        makeKernel("mri-g-3", KernelCategory::Compute, 8, 6, 180, 1700,
+                   computePhase(18.0, 0.05), 0xc005));
+    add("mri-q", 1.00,
+        makeKernel("mri-q", KernelCategory::Compute, 8, 5, 150, 2000,
+                   computePhase(28.0, 0.15), 0xc006));
+    add("pathfinder", 1.00,
+        makeKernel("pf", KernelCategory::Compute, 8, 6, 180, 1700,
+                   computePhase(16.0, 0.02), 0xc007));
+    {
+        // prtcl-2: heavy load imbalance — one block runs ~25x longer, so
+        // most SMs idle for >95% of the kernel (paper Section V-B).
+        auto p = makeKernel("prtcl-2", KernelCategory::Compute, 6, 3, 45,
+                            2000, computePhase(20.0, 0.04), 0xc008);
+        p.longBlocks = 1;
+        p.longBlockFactor = 25.0;
+        add("particle", 0.35, std::move(p));
+    }
+    {
+        // sgemm tiles operands through shared memory.
+        auto ph = computePhase(26.0, 0.0, 0.25);
+        ph.sharedFraction = 0.35;
+        add("sgemm", 1.00,
+            makeKernel("sgemm", KernelCategory::Compute, 4, 6, 180, 2000,
+                       ph, 0xc009));
+    }
+
+    // ----------------------------------------------------------------
+    // Memory-intensive kernels.
+    // ----------------------------------------------------------------
+    add("cfd", 0.85,
+        makeKernel("cfd-1", KernelCategory::Memory, 16, 3, 45, 300,
+                   memoryPhase(3.0, 4, 0.20), 0x3e01));
+    add("cfd", 0.15,
+        makeKernel("cfd-2", KernelCategory::Memory, 6, 3, 60, 400,
+                   memoryPhase(2.0, 4, 0.25), 0x3e02));
+    add("histo", 0.17,
+        makeKernel("histo-3", KernelCategory::Memory, 16, 3, 45, 350,
+                   memoryPhase(3.0, 2, 0.35), 0x3e03));
+    add("lbm", 1.00,
+        makeKernel("lbm", KernelCategory::Memory, 4, 7, 120, 400,
+                   memoryPhase(4.0, 4, 0.40), 0x3e04));
+    {
+        // leuko-1: texture-heavy. The deep texture buffering hides the
+        // memory back-pressure from the LD/ST pipe, so X_mem stays low
+        // and Equalizer misreads the kernel (paper Section V-B).
+        auto ph = memoryPhase(4.0, 2, 0.05);
+        ph.texture = true;
+        ph.depProb = 0.1;
+        add("leukocyte", 0.64,
+            makeKernel("leuko-1", KernelCategory::Memory, 6, 6, 105, 400,
+                       ph, 0x3e05));
+    }
+
+    // ----------------------------------------------------------------
+    // Cache-sensitive kernels.
+    // ----------------------------------------------------------------
+    {
+        // bfs-2: twelve invocations; the middle ones (8-10) are strongly
+        // cache-bound while the rest favour parallelism (paper Fig 2a).
+        auto bfs_phase = cachePhase(5.0, 1536, 0.90);
+        bfs_phase.divergence = 0.45; // frontier-dependent branching
+        auto p = makeKernel("bfs-2", KernelCategory::Cache, 16, 3, 60, 650,
+                            bfs_phase, 0xca01);
+        const double lengths[12] = {0.4, 0.5, 0.7, 0.9, 1.2, 1.3,
+                                    1.2, 1.5, 1.3, 1.0, 0.6, 0.4};
+        for (int i = 0; i < 12; ++i) {
+            InvocationMod m;
+            m.lengthScale = lengths[i];
+            m.reuseOverride = (i >= 7 && i <= 9) ? 0.95 : 0.35;
+            p.invocations.push_back(m);
+        }
+        add("bfs", 0.95, std::move(p));
+    }
+    add("backprop", 0.43,
+        makeKernel("bp-2", KernelCategory::Cache, 8, 6, 132, 500,
+                   cachePhase(5.0, 1792, 0.90), 0xca02));
+    add("histo", 0.30,
+        makeKernel("histo-1", KernelCategory::Cache, 16, 3, 60, 550,
+                   cachePhase(4.0, 1280, 0.85, 0.2), 0xca03));
+    add("kmeans", 0.24,
+        makeKernel("kmn", KernelCategory::Cache, 8, 6, 132, 550,
+                   cachePhase(4.0, 1792, 0.92), 0xca04));
+    {
+        auto ph = cachePhase(6.0, 1792, 0.88);
+        ph.divergence = 0.35; // suffix-tree walks diverge per thread
+        add("mummer", 1.00,
+            makeKernel("mmer", KernelCategory::Cache, 8, 6, 132, 550, ph,
+                       0xca05));
+    }
+    add("particle", 0.45,
+        makeKernel("prtcl-1", KernelCategory::Cache, 16, 3, 60, 550,
+                   cachePhase(5.0, 1280, 0.85), 0xca06));
+    {
+        // spmv: an early strongly cache-contended phase, then a phase
+        // dominated by memory waiting (paper Fig 11b). Table II calls it
+        // Compute, but every figure treats it as cache-sensitive.
+        KernelParams p;
+        p.name = "spmv";
+        p.category = KernelCategory::Cache;
+        p.warpsPerBlock = 6;
+        p.maxBlocksPerSm = 8;
+        p.totalBlocks = 150;
+        p.instrsPerWarp = 500;
+        PhaseParams early = cachePhase(3.0, 1536, 0.95);
+        early.weight = 0.3;
+        PhaseParams late = cachePhase(6.0, 1536, 0.60);
+        late.weight = 0.7;
+        late.transactionsPerLoad = 2;
+        p.phases = {early, late};
+        p.seed = 0xca07;
+        add("spmv", 1.00, std::move(p));
+    }
+
+    // ----------------------------------------------------------------
+    // Unsaturated kernels.
+    // ----------------------------------------------------------------
+    {
+        auto ph = unsaturatedPhase(9.0, 0.7);
+        ph.loadDepDistance = 4;
+        // Small grid: only ~2 blocks per SM are resident, so neither the
+        // issue slots nor the bandwidth saturate (latency-bound kernel).
+        add("backprop", 0.57,
+            makeKernel("bp-1", KernelCategory::Unsaturated, 8, 6, 40,
+                       3500, ph, 0x0501));
+    }
+    {
+        // mri-g-1: two short memory-pressure bursts inside a mostly
+        // latency-bound kernel (paper Fig 2b).
+        KernelParams p;
+        p.name = "mri-g-1";
+        p.category = KernelCategory::Unsaturated;
+        p.warpsPerBlock = 2;
+        p.maxBlocksPerSm = 8;
+        p.totalBlocks = 150;
+        p.instrsPerWarp = 2400;
+        PhaseParams calm = unsaturatedPhase(12.0, 0.5);
+        PhaseParams burst = memoryPhase(2.0, 4, 0.1);
+        calm.weight = 0.35;
+        burst.weight = 0.10;
+        PhaseParams calm2 = calm;
+        calm2.weight = 0.30;
+        PhaseParams burst2 = burst;
+        burst2.weight = 0.10;
+        PhaseParams calm3 = calm;
+        calm3.weight = 0.15;
+        p.phases = {calm, burst, calm2, burst2, calm3};
+        p.seed = 0x0502;
+        add("mri-g", 0.68, std::move(p));
+    }
+    {
+        auto ph = unsaturatedPhase(6.0, 0.5);
+        ph.transactionsPerLoad = 2;
+        ph.reuseFraction = 0.5;
+        add("mri-g", 0.07,
+            makeKernel("mri-g-2", KernelCategory::Unsaturated, 8, 3, 60,
+                       1200, ph, 0x0503));
+    }
+    {
+        KernelParams p;
+        p.name = "sad-1";
+        p.category = KernelCategory::Unsaturated;
+        p.warpsPerBlock = 2;
+        p.maxBlocksPerSm = 8;
+        p.totalBlocks = 150;
+        p.instrsPerWarp = 2000;
+        PhaseParams a = unsaturatedPhase(10.0, 0.55);
+        a.weight = 0.5;
+        PhaseParams b = memoryPhase(4.0, 2, 0.15);
+        b.weight = 0.5;
+        p.phases = {a, b};
+        p.seed = 0x0504;
+        add("sad", 0.85, std::move(p));
+    }
+    {
+        // sc: alternating compute-lean and memory-lean phases; boosts
+        // both resources at different times (paper Fig 9).
+        KernelParams p;
+        p.name = "sc";
+        p.category = KernelCategory::Unsaturated;
+        p.warpsPerBlock = 16;
+        p.maxBlocksPerSm = 3;
+        p.totalBlocks = 60;
+        p.instrsPerWarp = 800;
+        PhaseParams comp = unsaturatedPhase(14.0, 0.45);
+        comp.weight = 0.5;
+        PhaseParams mem = memoryPhase(5.0, 1, 0.2);
+        mem.weight = 0.5;
+        p.phases = {comp, mem};
+        p.seed = 0x0505;
+        add("sc", 1.00, std::move(p));
+    }
+    {
+        auto ph = unsaturatedPhase(9.0, 0.7);
+        ph.syncEvery = 60;
+        ph.reuseFraction = 0.6;
+        ph.sharedFraction = 0.3; // halo cells staged in shared memory
+        add("stencile", 1.00,
+            makeKernel("stncl", KernelCategory::Unsaturated, 4, 5, 105,
+                       1500, ph, 0x0506));
+    }
+
+    return zoo;
+}
+
+} // namespace
+
+const std::vector<ZooEntry> &
+KernelZoo::all()
+{
+    static const std::vector<ZooEntry> roster = buildRoster();
+    return roster;
+}
+
+const ZooEntry &
+KernelZoo::byName(const std::string &name)
+{
+    for (const auto &entry : all())
+        if (entry.params.name == name)
+            return entry;
+    fatal("unknown kernel '", name, "'");
+}
+
+std::vector<std::string>
+KernelZoo::names()
+{
+    std::vector<std::string> out;
+    for (const auto &entry : all())
+        out.push_back(entry.params.name);
+    return out;
+}
+
+std::vector<std::string>
+KernelZoo::namesInCategory(KernelCategory c)
+{
+    std::vector<std::string> out;
+    for (const auto &entry : all())
+        if (entry.params.category == c)
+            out.push_back(entry.params.name);
+    return out;
+}
+
+} // namespace equalizer

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The 27-kernel workload roster of the paper's Table II.
+ */
+
+#ifndef EQ_KERNELS_KERNEL_ZOO_HH
+#define EQ_KERNELS_KERNEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_params.hh"
+#include "kernels/synthetic_kernel.hh"
+
+namespace equalizer
+{
+
+/** One roster row: the kernel plus its Table II application facts. */
+struct ZooEntry
+{
+    std::string application; ///< e.g. "backprop"
+    double appFraction;      ///< fraction of application time (Table II)
+    KernelParams params;
+};
+
+/**
+ * Static registry of the paper's kernels.
+ *
+ * Categories follow the paper's figures (4, 9, 10); note spmv, which
+ * Table II lists as Compute but every figure treats as cache-sensitive —
+ * we follow the figures (see DESIGN.md).
+ */
+class KernelZoo
+{
+  public:
+    /** All 27 kernels in the paper's figure order. */
+    static const std::vector<ZooEntry> &all();
+
+    /** Lookup by kernel name; fatal() when unknown. */
+    static const ZooEntry &byName(const std::string &name);
+
+    /** Names of every kernel in roster order. */
+    static std::vector<std::string> names();
+
+    /** Names of the kernels in one category, roster order. */
+    static std::vector<std::string> namesInCategory(KernelCategory c);
+};
+
+} // namespace equalizer
+
+#endif // EQ_KERNELS_KERNEL_ZOO_HH

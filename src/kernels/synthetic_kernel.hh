@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The synthetic-kernel implementation of the KernelLaunch contract.
+ */
+
+#ifndef EQ_KERNELS_SYNTHETIC_KERNEL_HH
+#define EQ_KERNELS_SYNTHETIC_KERNEL_HH
+
+#include <memory>
+
+#include "gpu/kernel_launch.hh"
+#include "kernels/kernel_params.hh"
+
+namespace equalizer
+{
+
+/**
+ * One invocation of a synthetic kernel.
+ *
+ * Deterministic: the stream of (block, warp) depends only on the kernel
+ * seed, the invocation index and the coordinates.
+ */
+class SyntheticKernel : public KernelLaunch
+{
+  public:
+    /**
+     * @param params Kernel description (copied).
+     * @param invocation Invocation index into the schedule.
+     */
+    explicit SyntheticKernel(KernelParams params, int invocation = 0);
+
+    const KernelInfo &info() const override { return info_; }
+
+    std::unique_ptr<InstructionStream>
+    makeWarpStream(BlockId block, int warp_in_block) const override;
+
+    const KernelParams &params() const { return params_; }
+    int invocation() const { return invocation_; }
+
+    /** Effective per-invocation modifier. */
+    const InvocationMod &mod() const { return mod_; }
+
+  private:
+    KernelParams params_;
+    int invocation_;
+    InvocationMod mod_;
+    KernelInfo info_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_KERNELS_SYNTHETIC_KERNEL_HH

@@ -1,0 +1,110 @@
+#include "dram.hh"
+
+namespace equalizer
+{
+
+DramPartition::DramPartition(const MemConfig &cfg, int partition_id,
+                             EnergyModel &energy)
+    : cfg_(cfg), id_(partition_id), energy_(energy), cap_(cfg.dramQueueCap),
+      openRow_(static_cast<std::size_t>(cfg.banksPerPartition), -1)
+{
+}
+
+int
+DramPartition::bankOf(Addr line_addr) const
+{
+    // Lines are already striped across partitions by the caller; within a
+    // partition, consecutive partition-local lines stripe across banks at
+    // row granularity so a stream keeps a row open.
+    const Addr local = line_addr / lineBytes /
+                       static_cast<Addr>(cfg_.numPartitions);
+    return static_cast<int>((local / cfg_.linesPerRow) %
+                            static_cast<Addr>(cfg_.banksPerPartition));
+}
+
+std::uint64_t
+DramPartition::rowOf(Addr line_addr) const
+{
+    const Addr local = line_addr / lineBytes /
+                       static_cast<Addr>(cfg_.numPartitions);
+    return local / cfg_.linesPerRow / cfg_.banksPerPartition;
+}
+
+bool
+DramPartition::submit(const MemAccess &access, Cycle now)
+{
+    if (full())
+        return false;
+    queue_.push_back(Pending{access, now});
+    return true;
+}
+
+std::optional<MemAccess>
+DramPartition::tick(Cycle now)
+{
+    std::optional<MemAccess> completed;
+
+    if (inService_ && busyUntil_ <= now) {
+        completed = inService_->access;
+        inService_.reset();
+        lastActive_ = now;
+    }
+
+    // Interface power management: enter the low-power state after a
+    // long idle stretch; account time spent there.
+    if (!inService_ && queue_.empty()) {
+        if (cfg_.dramPowerDownIdleCycles > 0 &&
+            now - lastActive_ >= cfg_.dramPowerDownIdleCycles) {
+            poweredDown_ = true;
+        }
+        if (poweredDown_)
+            ++poweredDownCycles_;
+    }
+
+    if (!inService_ && !queue_.empty()) {
+        // FR-FCFS: oldest row-hit first, else the oldest request.
+        std::size_t pick = 0;
+        bool found_hit = false;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const Addr a = queue_[i].access.lineAddr;
+            const int bank = bankOf(a);
+            if (openRow_[static_cast<std::size_t>(bank)] ==
+                static_cast<std::int64_t>(rowOf(a))) {
+                pick = i;
+                found_hit = true;
+                break;
+            }
+        }
+
+        Pending p = queue_[pick];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+        const int bank = bankOf(p.access.lineAddr);
+        const auto row = static_cast<std::int64_t>(rowOf(p.access.lineAddr));
+        Cycle service;
+        if (found_hit) {
+            service = cfg_.dramRowHitCycles;
+            ++rowHits_;
+        } else {
+            service = cfg_.dramRowMissCycles;
+            openRow_[static_cast<std::size_t>(bank)] = row;
+            energy_.record(EnergyEvent::DramActivate);
+        }
+        if (poweredDown_) {
+            // Waking the interface delays the first access.
+            service += cfg_.dramPowerUpCycles;
+            poweredDown_ = false;
+        }
+        energy_.record(EnergyEvent::DramAccess);
+        ++accesses_;
+        queueDelaySum_ += now - p.enqueued;
+
+        busyUntil_ = now + service;
+        inService_ = p;
+        lastActive_ = now;
+    }
+
+    return completed;
+}
+
+} // namespace equalizer

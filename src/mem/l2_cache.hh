@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One L2 cache partition: a write-back, write-allocate bank in front of
+ * a DRAM partition.
+ */
+
+#ifndef EQ_MEM_L2_CACHE_HH
+#define EQ_MEM_L2_CACHE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "mem/dram.hh"
+#include "mem/mem_access.hh"
+#include "mem/mem_config.hh"
+#include "mem/queues.hh"
+#include "mem/tag_array.hh"
+#include "power/energy_model.hh"
+
+namespace equalizer
+{
+
+/**
+ * L2 partition.
+ *
+ * Requests arrive through a bounded input DelayQueue (the interconnect
+ * pushes with the NoC request latency applied). Each memory cycle the
+ * partition processes at most one request from the head:
+ *  - load hit: pushed to the output queue, ready after l2HitLatency;
+ *  - load miss: forwarded to the DRAM partition (the head blocks while
+ *    the DRAM queue is full — this is the back-pressure path);
+ *  - store: write-allocate, marks the line dirty; a dirty eviction costs
+ *    one DRAM write burst.
+ * DRAM load completions fill the tags and enter the output queue. The
+ * interconnect drains the output queue toward the SMs.
+ */
+class L2Partition
+{
+  public:
+    L2Partition(const MemConfig &cfg, int partition_id, EnergyModel &energy);
+
+    /** Interconnect-facing input (push with request latency applied). */
+    DelayQueue<MemAccess> &input() { return input_; }
+
+    /** Completed loads waiting for the response interconnect. */
+    DelayQueue<MemAccess> &output() { return output_; }
+
+    /** Advance one memory cycle. */
+    void tick(Cycle now);
+
+    /** Drop all cached lines and dirty state (kernel boundary). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    const DramPartition &dram() const { return dram_; }
+    DramPartition &dram() { return dram_; }
+
+  private:
+    /** Install a line; performs dirty-writeback accounting on eviction. */
+    void installLine(Addr line_addr, bool dirty, Cycle now);
+
+    void handleRequest(Cycle now);
+
+    const MemConfig &cfg_;
+    EnergyModel &energy_;
+    TagArray tags_;
+    DelayQueue<MemAccess> input_;
+    DelayQueue<MemAccess> output_;
+    DramPartition dram_;
+
+    /// Lines present and dirty (write-back state held beside the tags).
+    std::unordered_set<Addr> dirty_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_MEM_L2_CACHE_HH

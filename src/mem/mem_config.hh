@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sizing parameters for the memory hierarchy (GTX480-flavoured defaults).
+ */
+
+#ifndef EQ_MEM_MEM_CONFIG_HH
+#define EQ_MEM_MEM_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/**
+ * Memory-hierarchy configuration.
+ *
+ * Latencies are expressed in cycles of the component's owning clock
+ * domain: L1 in SM cycles, everything from the interconnect down in
+ * memory-domain cycles. When the memory domain is rescaled by Equalizer,
+ * all downstream latencies and bandwidths scale with it — exactly the
+ * paper's "memory system VF domain" (NoC + L2 + MC + DRAM).
+ */
+struct MemConfig
+{
+    // --- L1 data cache, per SM (paper Table III: 64 sets, 4 ways, 128B).
+    int l1Sets = 64;
+    int l1Ways = 4;
+    int l1MshrEntries = 32;
+    int l1MaxMerges = 8;
+    Cycle l1HitLatency = 24; ///< SM cycles, load-to-use
+
+    // --- Interconnect.
+    int numPartitions = 6;           ///< L2/DRAM partitions (GTX480: 6)
+    Cycle nocRequestLatency = 40;    ///< mem cycles, SM -> partition
+    Cycle nocResponseLatency = 40;   ///< mem cycles, partition -> SM
+    int nocRequestBwPerCycle = 6;    ///< requests accepted per mem cycle
+    int nocResponseBwPerCycle = 6;   ///< responses delivered per mem cycle
+    std::size_t smInjectQueueCap = 8;    ///< per-SM request injection FIFO
+    std::size_t texInjectQueueCap = 128; ///< per-SM texture FIFO (deep)
+    std::size_t partitionInQueueCap = 16;///< per-partition L2 input
+    std::size_t smResponseQueueCap = 256;///< per-SM response FIFO
+
+    // --- L2, per partition (6 x 128 kB = 768 kB total).
+    int l2SetsPerPartition = 128;
+    int l2Ways = 8;
+    Cycle l2HitLatency = 30;          ///< mem cycles
+    std::size_t dramQueueCap = 16;    ///< per-partition MC input
+
+    // --- DRAM (GDDR5-style service model).
+    int banksPerPartition = 8;
+    int linesPerRow = 32;             ///< 4 kB row / 128 B line
+    Cycle dramRowHitCycles = 4;       ///< data-bus occupancy per burst
+    Cycle dramRowMissCycles = 12;     ///< activate+precharge penalty path
+
+    /**
+     * GDDR5 low-power state (MemScale-style): after this many idle
+     * memory cycles a partition powers down its interface, cutting its
+     * share of the active-standby power (see PowerConfig); waking costs
+     * dramPowerUpCycles on the next access. 0 disables power-down.
+     */
+    Cycle dramPowerDownIdleCycles = 200;
+    Cycle dramPowerUpCycles = 10;
+
+    /** Default GTX480-like configuration. */
+    static MemConfig
+    gtx480()
+    {
+        return MemConfig{};
+    }
+};
+
+} // namespace equalizer
+
+#endif // EQ_MEM_MEM_CONFIG_HH

@@ -1,0 +1,163 @@
+#include "memory_system.hh"
+
+namespace equalizer
+{
+
+MemorySystem::MemorySystem(const MemConfig &cfg, int num_sms,
+                           EnergyModel &energy)
+    : cfg_(cfg), energy_(energy), numSms_(num_sms)
+{
+    for (int s = 0; s < num_sms; ++s) {
+        injectQueues_.push_back(
+            std::make_unique<BoundedQueue<MemAccess>>(cfg_.smInjectQueueCap));
+        texQueues_.push_back(
+            std::make_unique<BoundedQueue<MemAccess>>(cfg_.texInjectQueueCap));
+        responseQueues_.push_back(std::make_unique<DelayQueue<MemAccess>>(
+            cfg_.smResponseQueueCap));
+    }
+    for (int p = 0; p < cfg_.numPartitions; ++p)
+        partitions_.push_back(std::make_unique<L2Partition>(cfg_, p, energy));
+}
+
+int
+MemorySystem::partitionOf(Addr line_addr) const
+{
+    return static_cast<int>((line_addr / lineBytes) %
+                            static_cast<Addr>(cfg_.numPartitions));
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    ++tickCount_;
+    for (const auto &p : partitions_) {
+        p->tick(now);
+        dramQueueDepthSum_ += p->dram().queueDepth();
+    }
+
+    // --- Request network: move up to nocRequestBwPerCycle transactions
+    // from SM injection queues into partition input queues.
+    int request_budget = cfg_.nocRequestBwPerCycle;
+    for (int scanned = 0; scanned < numSms_ && request_budget > 0; ++scanned) {
+        const int sm = (rrSm_ + scanned) % numSms_;
+        // The regular (L1 miss/store) path has priority; the texture path
+        // fills any leftover slot for this SM.
+        for (auto *queue :
+             {injectQueues_[static_cast<std::size_t>(sm)].get(),
+              texQueues_[static_cast<std::size_t>(sm)].get()}) {
+            if (request_budget == 0 || queue->empty())
+                continue;
+            MemAccess &head = queue->front();
+            auto &dest = partitions_[static_cast<std::size_t>(
+                                         partitionOf(head.lineAddr))]
+                             ->input();
+            if (dest.full())
+                continue; // head-of-line block for this queue
+            MemAccess access = *queue->pop();
+            dest.push(access, now + cfg_.nocRequestLatency);
+            // A read request is one address flit; a write carries a line
+            // (four 32 B data flits + address).
+            energy_.record(EnergyEvent::NocFlit, access.write ? 5 : 1);
+            --request_budget;
+        }
+    }
+    rrSm_ = (rrSm_ + 1) % numSms_;
+
+    // --- Response network: move up to nocResponseBwPerCycle completed
+    // loads from partition outputs into per-SM response queues.
+    int response_budget = cfg_.nocResponseBwPerCycle;
+    const int nparts = static_cast<int>(partitions_.size());
+    for (int scanned = 0; scanned < nparts && response_budget > 0;
+         ++scanned) {
+        const int p = (rrPartition_ + scanned) % nparts;
+        auto &out = partitions_[static_cast<std::size_t>(p)]->output();
+        while (response_budget > 0 && out.headReady(now)) {
+            const MemAccess &head = out.front();
+            auto &dest =
+                *responseQueues_[static_cast<std::size_t>(head.sm)];
+            if (dest.full())
+                break; // head-of-line block for this partition
+            MemAccess access = *out.popReady(now);
+            dest.push(access, now + cfg_.nocResponseLatency);
+            energy_.record(EnergyEvent::NocFlit, 5);
+            --response_budget;
+        }
+    }
+    rrPartition_ = (rrPartition_ + 1) % nparts;
+}
+
+std::vector<MemAccess>
+MemorySystem::drainResponses(SmId sm, Cycle mem_now, int max_n)
+{
+    std::vector<MemAccess> out;
+    auto &queue = *responseQueues_[static_cast<std::size_t>(sm)];
+    while (static_cast<int>(out.size()) < max_n) {
+        auto access = queue.popReady(mem_now);
+        if (!access)
+            break;
+        out.push_back(*access);
+    }
+    return out;
+}
+
+void
+MemorySystem::flushCaches()
+{
+    for (const auto &p : partitions_)
+        p->flush();
+}
+
+std::uint64_t
+MemorySystem::l2Hits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : partitions_)
+        total += p->hits();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::l2Misses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : partitions_)
+        total += p->misses();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::dramAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : partitions_)
+        total += p->dram().accesses();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::dramRowHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : partitions_)
+        total += p->dram().rowHits();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::dramPoweredDownCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : partitions_)
+        total += p->dram().poweredDownCycles();
+    return total;
+}
+
+double
+MemorySystem::meanDramQueueDepth() const
+{
+    const std::uint64_t samples =
+        tickCount_ * static_cast<std::uint64_t>(partitions_.size());
+    return samples ? static_cast<double>(dramQueueDepthSum_) / samples : 0.0;
+}
+
+} // namespace equalizer

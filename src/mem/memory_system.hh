@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The GPU-wide memory system: per-SM injection queues, a bandwidth- and
+ * latency-limited interconnect, banked L2 partitions and GDDR5-style DRAM
+ * channels, plus the response network back to the SMs.
+ */
+
+#ifndef EQ_MEM_MEMORY_SYSTEM_HH
+#define EQ_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/l2_cache.hh"
+#include "mem/mem_access.hh"
+#include "mem/mem_config.hh"
+#include "mem/queues.hh"
+#include "power/energy_model.hh"
+
+namespace equalizer
+{
+
+/**
+ * Everything downstream of the L1s, ticked on the memory clock domain.
+ *
+ * SM-side producers push into per-SM bounded injection queues (the L1
+ * miss path and the texture path); the response network delivers
+ * completed loads into per-SM response queues that the SMs drain on
+ * their own clock. All internal movement obeys finite buffers, so
+ * saturation propagates back to the injection queues, which is the
+ * back-pressure signal the LSU (and hence Equalizer's X_mem counter)
+ * observes.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemConfig &cfg, int num_sms, EnergyModel &energy);
+
+    /** L1-miss/store injection FIFO of one SM. */
+    BoundedQueue<MemAccess> &smInjectQueue(SmId sm)
+    {
+        return *injectQueues_[static_cast<std::size_t>(sm)];
+    }
+
+    /** Texture-path injection FIFO of one SM (deep, rarely full). */
+    BoundedQueue<MemAccess> &texInjectQueue(SmId sm)
+    {
+        return *texQueues_[static_cast<std::size_t>(sm)];
+    }
+
+    /** Advance the memory system by one memory-domain cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Drain up to @p max_n completed loads destined for @p sm whose
+     * network delay has elapsed by memory cycle @p mem_now. Called from
+     * the SM clock domain (the caller supplies the memory clock).
+     */
+    std::vector<MemAccess> drainResponses(SmId sm, Cycle mem_now, int max_n);
+
+    /** Invalidate all L2 partitions (kernel boundary). */
+    void flushCaches();
+
+    /** Aggregate stats over partitions. */
+    std::uint64_t l2Hits() const;
+    std::uint64_t l2Misses() const;
+    std::uint64_t dramAccesses() const;
+    std::uint64_t dramRowHits() const;
+
+    /** Summed powered-down cycles across all DRAM partitions. */
+    std::uint64_t dramPoweredDownCycles() const;
+
+    /** Mean occupancy observed on DRAM queues (rough load indicator). */
+    double meanDramQueueDepth() const;
+
+    int numPartitions() const { return static_cast<int>(partitions_.size()); }
+
+    L2Partition &partition(int i)
+    {
+        return *partitions_[static_cast<std::size_t>(i)];
+    }
+
+  private:
+    int partitionOf(Addr line_addr) const;
+
+    const MemConfig cfg_;
+    EnergyModel &energy_;
+    int numSms_;
+
+    std::vector<std::unique_ptr<BoundedQueue<MemAccess>>> injectQueues_;
+    std::vector<std::unique_ptr<BoundedQueue<MemAccess>>> texQueues_;
+    std::vector<std::unique_ptr<L2Partition>> partitions_;
+
+    /// Response network: one delayed FIFO per SM.
+    std::vector<std::unique_ptr<DelayQueue<MemAccess>>> responseQueues_;
+
+    /// Round-robin pointers for fair arbitration.
+    int rrSm_ = 0;
+    int rrPartition_ = 0;
+
+    std::uint64_t dramQueueDepthSum_ = 0;
+    std::uint64_t tickCount_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_MEM_MEMORY_SYSTEM_HH

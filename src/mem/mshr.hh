@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Miss-status holding registers for the L1 data cache.
+ */
+
+#ifndef EQ_MEM_MSHR_HH
+#define EQ_MEM_MSHR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/**
+ * A fixed-capacity MSHR file. Each entry tracks one outstanding line and
+ * the warps merged onto it.
+ */
+class MshrFile
+{
+  public:
+    /** Outcome of trying to record a miss. */
+    enum class Outcome
+    {
+        NewMiss,   ///< allocated a fresh entry; send a request downstream
+        Merged,    ///< piggybacked on an in-flight entry; no new request
+        NoEntry,   ///< MSHR file full
+        NoMerge,   ///< entry exists but its merge list is full
+    };
+
+    /**
+     * @param entries Maximum outstanding lines.
+     * @param max_merges Maximum warps merged per line (including the
+     *        original requester).
+     */
+    MshrFile(int entries, int max_merges)
+        : entries_(entries), maxMerges_(max_merges)
+    {
+    }
+
+    /** Try to record a miss for @p line_addr by @p warp. */
+    Outcome
+    allocate(Addr line_addr, WarpId warp)
+    {
+        auto it = pending_.find(line_addr);
+        if (it != pending_.end()) {
+            if (static_cast<int>(it->second.size()) >= maxMerges_)
+                return Outcome::NoMerge;
+            it->second.push_back(warp);
+            return Outcome::Merged;
+        }
+        if (static_cast<int>(pending_.size()) >= entries_)
+            return Outcome::NoEntry;
+        pending_[line_addr].push_back(warp);
+        return Outcome::NewMiss;
+    }
+
+    /**
+     * Retire the entry for a filled line.
+     * @return The warps waiting on it (empty if the line was unknown).
+     */
+    std::vector<WarpId>
+    fill(Addr line_addr)
+    {
+        auto it = pending_.find(line_addr);
+        if (it == pending_.end())
+            return {};
+        std::vector<WarpId> waiters = std::move(it->second);
+        pending_.erase(it);
+        return waiters;
+    }
+
+    bool full() const
+    {
+        return static_cast<int>(pending_.size()) >= entries_;
+    }
+
+    bool
+    tracking(Addr line_addr) const
+    {
+        return pending_.count(line_addr) > 0;
+    }
+
+    int outstanding() const { return static_cast<int>(pending_.size()); }
+
+    int capacity() const { return entries_; }
+
+    void clear() { pending_.clear(); }
+
+  private:
+    int entries_;
+    int maxMerges_;
+    std::unordered_map<Addr, std::vector<WarpId>> pending_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_MEM_MSHR_HH

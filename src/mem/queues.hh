@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Small bounded-queue building blocks used across the memory system.
+ *
+ * Finite capacities are the point: the back-pressure chain that Equalizer
+ * observes (X_mem warps) arises from these queues filling up.
+ */
+
+#ifndef EQ_MEM_QUEUES_HH
+#define EQ_MEM_QUEUES_HH
+
+#include <deque>
+#include <optional>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/** A FIFO with a fixed capacity; push fails when full. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return items_.size() >= capacity_; }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return false (and leaves the queue unchanged) when full. */
+    bool
+    push(T item)
+    {
+        if (full())
+            return false;
+        items_.push_back(std::move(item));
+        return true;
+    }
+
+    /** Front element; queue must be non-empty. */
+    T &
+    front()
+    {
+        EQ_ASSERT(!items_.empty(), "front() on empty queue");
+        return items_.front();
+    }
+
+    /** Pop and return the front element, or nullopt when empty. */
+    std::optional<T>
+    pop()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+/**
+ * A bounded FIFO whose elements become visible only after a ready time.
+ *
+ * Models a fixed-latency pipe (interconnect traversal, cache lookup).
+ * Ready times must be pushed in non-decreasing order, which holds for any
+ * constant-latency pipe fed in simulation order.
+ */
+template <typename T>
+class DelayQueue
+{
+  public:
+    explicit DelayQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return items_.size() >= capacity_; }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return false (and leaves the queue unchanged) when full. */
+    bool
+    push(T item, Cycle ready_at)
+    {
+        if (full())
+            return false;
+        EQ_ASSERT(items_.empty() || ready_at >= items_.back().readyAt,
+                  "DelayQueue requires non-decreasing ready times");
+        items_.push_back(Entry{std::move(item), ready_at});
+        return true;
+    }
+
+    /** True when the head element exists and is ready at @p now. */
+    bool
+    headReady(Cycle now) const
+    {
+        return !items_.empty() && items_.front().readyAt <= now;
+    }
+
+    /** Peek the head element; it must exist (ready or not). */
+    T &
+    front()
+    {
+        EQ_ASSERT(!items_.empty(), "front() on empty delay queue");
+        return items_.front().item;
+    }
+
+    /** Pop the head element if ready at @p now. */
+    std::optional<T>
+    popReady(Cycle now)
+    {
+        if (!headReady(now))
+            return std::nullopt;
+        T item = std::move(items_.front().item);
+        items_.pop_front();
+        return item;
+    }
+
+    void clear() { items_.clear(); }
+
+  private:
+    struct Entry
+    {
+        T item;
+        Cycle readyAt;
+    };
+
+    std::size_t capacity_;
+    std::deque<Entry> items_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_MEM_QUEUES_HH

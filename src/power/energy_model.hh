@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Event-based energy accounting with DVFS scaling, in the spirit of
+ * GPUWattch/McPAT plus the Hynix GDDR5 datasheet's standby currents.
+ *
+ * Dynamic energy: every microarchitectural event (a warp instruction
+ * issued, an L1 access, a DRAM line transfer, ...) deposits a fixed
+ * per-event energy scaled by the square of the owning clock domain's
+ * relative supply voltage at the moment of the event (E ~ C V^2).
+ *
+ * Static energy: leakage power scales linearly with voltage (the paper's
+ * assumption) and is integrated over per-VF-state residency after the
+ * run. DRAM active-standby power additionally grows with the memory
+ * frequency state, modelling the 30%-higher idle standby current of
+ * GDDR5 at higher data rates.
+ */
+
+#ifndef EQ_POWER_ENERGY_MODEL_HH
+#define EQ_POWER_ENERGY_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "sim/vf.hh"
+
+namespace equalizer
+{
+
+/** Kinds of dynamic-energy events components may report. */
+enum class EnergyEvent
+{
+    // SM-domain events
+    SmIssue,      ///< a warp instruction issued (fetch/decode/schedule)
+    SmAluOp,      ///< a 32-lane arithmetic warp operation executed
+    SmSfuOp,      ///< a special-function warp operation executed
+    SmRegAccess,  ///< an operand-collector register-file access
+    SmLsuOp,      ///< LSU processing of one warp memory instruction
+    SmSharedAccess, ///< a shared-memory (scratchpad) access
+    L1Access,     ///< an L1 data-cache tag+data access
+    // Memory-domain events
+    NocFlit,      ///< one interconnect flit transferred
+    L2Access,     ///< an L2 tag+data access
+    DramActivate, ///< a DRAM row activate+precharge pair
+    DramAccess,   ///< a 128 B DRAM read or write burst
+    NumEvents,
+};
+
+/** Number of distinct EnergyEvent kinds. */
+inline constexpr int numEnergyEvents =
+    static_cast<int>(EnergyEvent::NumEvents);
+
+/** Which clock domain an event's energy scales with. */
+enum class PowerDomain
+{
+    Sm,
+    Memory,
+};
+
+/** Static characterization of the modelled GPU's power. */
+struct PowerConfig
+{
+    /// Per-event dynamic energies at nominal voltage, in joules.
+    std::array<double, numEnergyEvents> eventEnergy{};
+
+    /// SM-domain leakage power at nominal voltage, watts.
+    double smLeakageWatts = 30.0;
+
+    /// Memory-domain (NoC+L2+MC) leakage power at nominal voltage, watts.
+    double memLeakageWatts = 11.9;
+
+    /// DRAM active-standby power at the Normal memory state, watts.
+    double dramStandbyWatts = 12.0;
+
+    /**
+     * Sensitivity of DRAM standby current to the frequency state:
+     * standby ~ (1 + k * (fscale - 1)) * Vscale. k = 1.5 reproduces a
+     * roughly 30% idle-current delta over a +/-15% window-and-a-half, in
+     * line with the Hynix GDDR5 operating points.
+     */
+    double dramStandbySlope = 1.5;
+
+    /**
+     * Fraction of active-standby power still drawn while a DRAM
+     * partition interface is powered down (MemScale-style low-power
+     * state).
+     */
+    double dramPowerDownFactor = 0.45;
+
+    /** GTX480-flavoured defaults (GPUWattch-calibrated shares). */
+    static PowerConfig gtx480();
+};
+
+/** Map an event kind to its owning power domain. */
+constexpr PowerDomain
+eventDomain(EnergyEvent e)
+{
+    switch (e) {
+      case EnergyEvent::NocFlit:
+      case EnergyEvent::L2Access:
+      case EnergyEvent::DramActivate:
+      case EnergyEvent::DramAccess:
+        return PowerDomain::Memory;
+      default:
+        return PowerDomain::Sm;
+    }
+}
+
+/** Human-readable event name (for reports). */
+const char *energyEventName(EnergyEvent e);
+
+/**
+ * Accumulates a run's energy online.
+ *
+ * The GPU top-level updates the domain states when the frequency manager
+ * commits a change; components report events as they happen.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(PowerConfig cfg = PowerConfig::gtx480());
+
+    /** Inform the model of the current VF state of both domains. */
+    void setDomainStates(VfState sm, VfState mem);
+
+    /** Deposit @p count events of kind @p e at the current voltage. */
+    void
+    record(EnergyEvent e, std::uint64_t count = 1)
+    {
+        const int i = static_cast<int>(e);
+        dynamicJoules_[i] +=
+            static_cast<double>(count) * cfg_.eventEnergy[i] *
+            (eventDomain(e) == PowerDomain::Sm ? smVsq_ : memVsq_);
+        eventCounts_[i] += count;
+    }
+
+    /**
+     * Deposit one event whose energy is scaled (e.g. a divergent warp
+     * op that only drives a fraction of the datapath lanes). Counted as
+     * a single event.
+     */
+    void
+    recordScaled(EnergyEvent e, double energy_scale)
+    {
+        const int i = static_cast<int>(e);
+        dynamicJoules_[i] +=
+            energy_scale * cfg_.eventEnergy[i] *
+            (eventDomain(e) == PowerDomain::Sm ? smVsq_ : memVsq_);
+        eventCounts_[i] += 1;
+    }
+
+    /**
+     * Static (leakage + DRAM standby) energy in joules, integrated over
+     * the given per-state residencies.
+     *
+     * @param sm_residency Ticks spent by the SM domain in each VfState.
+     * @param mem_residency Ticks spent by the memory domain per VfState.
+     * @param dram_power_down_fraction Fraction of total DRAM
+     *        partition-time spent in the powered-down state; that share
+     *        of the standby power is scaled by dramPowerDownFactor.
+     */
+    double staticJoules(const std::array<Tick, numVfStates> &sm_residency,
+                        const std::array<Tick, numVfStates> &mem_residency,
+                        double dram_power_down_fraction = 0.0) const;
+
+    /** Total dynamic energy so far, joules. */
+    double dynamicJoules() const;
+
+    /** Dynamic energy of a single event class, joules. */
+    double
+    dynamicJoules(EnergyEvent e) const
+    {
+        return dynamicJoules_[static_cast<int>(e)];
+    }
+
+    /** Count of recorded events of one kind. */
+    std::uint64_t
+    eventCount(EnergyEvent e) const
+    {
+        return eventCounts_[static_cast<int>(e)];
+    }
+
+    /** DRAM standby power (watts) at a given memory-domain state. */
+    double dramStandbyWatts(VfState mem) const;
+
+    /** Leakage power (watts) of both domains at given states. */
+    double leakageWatts(VfState sm, VfState mem) const;
+
+    const PowerConfig &config() const { return cfg_; }
+
+    /** Zero all accumulated energy and counts. */
+    void reset();
+
+  private:
+    PowerConfig cfg_;
+    double smVsq_ = 1.0;
+    double memVsq_ = 1.0;
+    std::array<double, numEnergyEvents> dynamicJoules_{};
+    std::array<std::uint64_t, numEnergyEvents> eventCounts_{};
+};
+
+} // namespace equalizer
+
+#endif // EQ_POWER_ENERGY_MODEL_HH

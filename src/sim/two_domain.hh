@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Interleaving driver for the SM and memory clock domains.
+ */
+
+#ifndef EQ_SIM_TWO_DOMAIN_HH
+#define EQ_SIM_TWO_DOMAIN_HH
+
+#include "sim/clock_domain.hh"
+
+namespace equalizer
+{
+
+/** Which domain an edge belongs to. */
+enum class DomainKind
+{
+    Sm,
+    Memory,
+};
+
+/**
+ * Steps two clock domains in global-time order.
+ *
+ * Ties are broken in favor of the memory domain so that data returned by
+ * the memory system in a given instant is visible to SMs ticking at the
+ * same instant — a conventional producer-before-consumer ordering.
+ */
+class TwoDomainScheduler
+{
+  public:
+    TwoDomainScheduler(ClockDomain &sm, ClockDomain &mem)
+        : sm_(sm), mem_(mem)
+    {
+    }
+
+    /** Peek which domain fires next without advancing it. */
+    DomainKind
+    nextKind() const
+    {
+        return mem_.nextEdge() <= sm_.nextEdge() ? DomainKind::Memory
+                                                 : DomainKind::Sm;
+    }
+
+    /**
+     * Advance the earliest-edge domain by one cycle.
+     * @return Which domain ticked.
+     */
+    DomainKind
+    step()
+    {
+        const DomainKind kind = nextKind();
+        if (kind == DomainKind::Memory)
+            mem_.advance();
+        else
+            sm_.advance();
+        return kind;
+    }
+
+    /** Global simulated time = the later of the two domains' clocks. */
+    Tick
+    now() const
+    {
+        // Each domain's "now" is its last-fired edge; the global clock is
+        // the minimum next edge (nothing before it can still happen).
+        return mem_.nextEdge() <= sm_.nextEdge() ? mem_.nextEdge()
+                                                 : sm_.nextEdge();
+    }
+
+  private:
+    ClockDomain &sm_;
+    ClockDomain &mem_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_SIM_TWO_DOMAIN_HH

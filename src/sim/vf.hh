@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Voltage/frequency operating states shared by the clock, power and
+ * Equalizer modules.
+ *
+ * The paper uses three discrete steps per domain: nominal, and +/-15% in
+ * both frequency and voltage (linear V-with-f scaling, Section V-A1).
+ */
+
+#ifndef EQ_SIM_VF_HH
+#define EQ_SIM_VF_HH
+
+#include <array>
+#include <string>
+
+namespace equalizer
+{
+
+/** Discrete voltage/frequency operating point of one clock domain. */
+enum class VfState
+{
+    Low,    ///< -15% frequency and voltage
+    Normal, ///< nominal operating point
+    High,   ///< +15% frequency and voltage
+};
+
+/** Number of VfState values. */
+inline constexpr int numVfStates = 3;
+
+/** Relative frequency/voltage modulation step (paper: 15%). */
+inline constexpr double vfStepFraction = 0.15;
+
+/** Frequency multiplier for a state relative to nominal. */
+constexpr double
+frequencyScale(VfState s)
+{
+    switch (s) {
+      case VfState::Low:
+        return 1.0 - vfStepFraction;
+      case VfState::High:
+        return 1.0 + vfStepFraction;
+      case VfState::Normal:
+      default:
+        return 1.0;
+    }
+}
+
+/**
+ * Voltage multiplier for a state relative to nominal. The paper assumes a
+ * linear change in voltage for any change in frequency [24].
+ */
+constexpr double
+voltageScale(VfState s)
+{
+    return frequencyScale(s);
+}
+
+/** One step toward higher frequency; saturates at High. */
+constexpr VfState
+stepUp(VfState s)
+{
+    return s == VfState::Low ? VfState::Normal : VfState::High;
+}
+
+/** One step toward lower frequency; saturates at Low. */
+constexpr VfState
+stepDown(VfState s)
+{
+    return s == VfState::High ? VfState::Normal : VfState::Low;
+}
+
+/** Human-readable state name. */
+inline const char *
+vfStateName(VfState s)
+{
+    switch (s) {
+      case VfState::Low:
+        return "low";
+      case VfState::High:
+        return "high";
+      case VfState::Normal:
+      default:
+        return "normal";
+    }
+}
+
+/** Direction of a requested frequency change. */
+enum class VfRequest
+{
+    Decrease,
+    Maintain,
+    Increase,
+};
+
+inline const char *
+vfRequestName(VfRequest r)
+{
+    switch (r) {
+      case VfRequest::Decrease:
+        return "decrease";
+      case VfRequest::Increase:
+        return "increase";
+      case VfRequest::Maintain:
+      default:
+        return "maintain";
+    }
+}
+
+} // namespace equalizer
+
+#endif // EQ_SIM_VF_HH

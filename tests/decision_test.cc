@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Branch-complete tests of Algorithm 1 and the Table I objective map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "equalizer/decision.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+DecisionInputs
+inputs(double mem, double alu, double waiting, double active,
+       int wcta = 8, int blocks = 4, int max_blocks = 8)
+{
+    DecisionInputs in;
+    in.counters.nMem = mem;
+    in.counters.nAlu = alu;
+    in.counters.nWaiting = waiting;
+    in.counters.nActive = active;
+    in.counters.samples = 32;
+    in.wCta = wcta;
+    in.numBlocks = blocks;
+    in.maxBlocks = max_blocks;
+    return in;
+}
+
+// --------------------------------------------------- Algorithm 1 branches
+
+TEST(Decision, MemoryHeavyReducesBlocksAndRequestsMemAction)
+{
+    const Decision d = decide(inputs(/*mem=*/9, /*alu=*/0, 20, 40));
+    EXPECT_EQ(d.tendency, Tendency::MemoryHeavy);
+    EXPECT_EQ(d.blockDelta, -1);
+    EXPECT_TRUE(d.memAction);
+    EXPECT_FALSE(d.compAction);
+}
+
+TEST(Decision, MemoryHeavyAtOneBlockHoldsConcurrency)
+{
+    const Decision d = decide(inputs(9, 0, 20, 40, 8, /*blocks=*/1));
+    EXPECT_EQ(d.tendency, Tendency::MemoryHeavy);
+    EXPECT_EQ(d.blockDelta, 0);
+    EXPECT_TRUE(d.memAction);
+}
+
+TEST(Decision, ComputeHeavyRequestsCompAction)
+{
+    const Decision d = decide(inputs(/*mem=*/1, /*alu=*/12, 10, 40));
+    EXPECT_EQ(d.tendency, Tendency::ComputeHeavy);
+    EXPECT_EQ(d.blockDelta, 0);
+    EXPECT_TRUE(d.compAction);
+    EXPECT_FALSE(d.memAction);
+}
+
+TEST(Decision, MemHeavyWinsOverComputeHeavy)
+{
+    // Algorithm 1 checks nMem first.
+    const Decision d = decide(inputs(9, 12, 10, 40));
+    EXPECT_EQ(d.tendency, Tendency::MemoryHeavy);
+}
+
+TEST(Decision, BandwidthSaturationWithoutBlockChange)
+{
+    const Decision d = decide(inputs(/*mem=*/3, /*alu=*/2, 10, 40));
+    EXPECT_EQ(d.tendency, Tendency::MemorySaturated);
+    EXPECT_EQ(d.blockDelta, 0);
+    EXPECT_TRUE(d.memAction);
+}
+
+TEST(Decision, ThresholdsAreStrictlyGreater)
+{
+    // nMem == Wcta is NOT "definitely memory intensive"; nMem == 2 is
+    // NOT saturation; both fall through.
+    const Decision d = decide(inputs(/*mem=*/2, /*alu=*/8, /*waiting=*/1,
+                                     /*active=*/40, /*wcta=*/8));
+    EXPECT_EQ(d.tendency, Tendency::Degenerate);
+}
+
+TEST(Decision, WaitingDominatedAddsBlockWithComputeInclination)
+{
+    const Decision d =
+        decide(inputs(/*mem=*/1, /*alu=*/2, /*waiting=*/25, /*active=*/40));
+    EXPECT_EQ(d.tendency, Tendency::UnsaturatedComp);
+    EXPECT_EQ(d.blockDelta, +1);
+    EXPECT_TRUE(d.compAction);
+}
+
+TEST(Decision, WaitingDominatedMemoryInclination)
+{
+    const Decision d =
+        decide(inputs(/*mem=*/2, /*alu=*/1, /*waiting=*/25, /*active=*/40));
+    EXPECT_EQ(d.tendency, Tendency::UnsaturatedMem);
+    EXPECT_EQ(d.blockDelta, +1);
+    EXPECT_TRUE(d.memAction);
+}
+
+TEST(Decision, WaitingDominatedAtMaxBlocksHolds)
+{
+    const Decision d = decide(
+        inputs(1, 2, 25, 40, 8, /*blocks=*/8, /*max_blocks=*/8));
+    EXPECT_EQ(d.blockDelta, 0);
+    EXPECT_TRUE(d.compAction);
+}
+
+TEST(Decision, IdleSmTriggersImbalanceAction)
+{
+    const Decision d = decide(inputs(0, 0, 0, /*active=*/0));
+    EXPECT_EQ(d.tendency, Tendency::IdleImbalance);
+    EXPECT_TRUE(d.compAction);
+}
+
+TEST(Decision, DegenerateChangesNothing)
+{
+    const Decision d =
+        decide(inputs(/*mem=*/1, /*alu=*/1, /*waiting=*/5, /*active=*/40));
+    EXPECT_EQ(d.tendency, Tendency::Degenerate);
+    EXPECT_EQ(d.blockDelta, 0);
+    EXPECT_FALSE(d.memAction);
+    EXPECT_FALSE(d.compAction);
+}
+
+TEST(Decision, ActionsAreMutuallyExclusive)
+{
+    for (double mem = 0; mem <= 20; mem += 1.0)
+        for (double alu = 0; alu <= 20; alu += 1.0) {
+            const Decision d = decide(inputs(mem, alu, 10, 30));
+            EXPECT_FALSE(d.memAction && d.compAction);
+            EXPECT_GE(d.blockDelta, -1);
+            EXPECT_LE(d.blockDelta, 1);
+        }
+}
+
+// --------------------------------------------------- Table I objective map
+
+TEST(Objective, ComputeEnergyThrottlesMemory)
+{
+    Decision d;
+    d.compAction = true;
+    const VfTargets t = applyObjective(d, EqualizerMode::Energy,
+                                       VfState::Normal, VfState::Normal);
+    EXPECT_EQ(t.sm, VfState::Normal);
+    EXPECT_EQ(t.mem, VfState::Low);
+}
+
+TEST(Objective, ComputePerformanceBoostsSm)
+{
+    Decision d;
+    d.compAction = true;
+    const VfTargets t = applyObjective(d, EqualizerMode::Performance,
+                                       VfState::Normal, VfState::Normal);
+    EXPECT_EQ(t.sm, VfState::High);
+    EXPECT_EQ(t.mem, VfState::Normal);
+}
+
+TEST(Objective, MemoryEnergyThrottlesSm)
+{
+    Decision d;
+    d.memAction = true;
+    const VfTargets t = applyObjective(d, EqualizerMode::Energy,
+                                       VfState::Normal, VfState::Normal);
+    EXPECT_EQ(t.sm, VfState::Low);
+    EXPECT_EQ(t.mem, VfState::Normal);
+}
+
+TEST(Objective, MemoryPerformanceBoostsMemory)
+{
+    Decision d;
+    d.memAction = true;
+    const VfTargets t = applyObjective(d, EqualizerMode::Performance,
+                                       VfState::Normal, VfState::Normal);
+    EXPECT_EQ(t.sm, VfState::Normal);
+    EXPECT_EQ(t.mem, VfState::High);
+}
+
+TEST(Objective, NoActionKeepsCurrentStates)
+{
+    const Decision d; // degenerate
+    const VfTargets t = applyObjective(d, EqualizerMode::Performance,
+                                       VfState::High, VfState::Low);
+    EXPECT_EQ(t.sm, VfState::High);
+    EXPECT_EQ(t.mem, VfState::Low);
+}
+
+TEST(Objective, ActionsRecenterTheUntouchedDomain)
+{
+    // A compute-heavy verdict in performance mode pulls a previously
+    // boosted memory domain back to Normal.
+    Decision d;
+    d.compAction = true;
+    const VfTargets t = applyObjective(d, EqualizerMode::Performance,
+                                       VfState::Low, VfState::High);
+    EXPECT_EQ(t.sm, VfState::High);
+    EXPECT_EQ(t.mem, VfState::Normal);
+}
+
+TEST(Objective, TendencyNamesAreDistinct)
+{
+    EXPECT_STRNE(tendencyName(Tendency::MemoryHeavy),
+                 tendencyName(Tendency::ComputeHeavy));
+    EXPECT_STRNE(tendencyName(Tendency::UnsaturatedComp),
+                 tendencyName(Tendency::UnsaturatedMem));
+    EXPECT_STRNE(tendencyName(Tendency::Degenerate),
+                 tendencyName(Tendency::IdleImbalance));
+}
+
+/**
+ * Property sweep over the input lattice: the paper's priority order is
+ * respected (memory-heavy > compute-heavy > saturation > waiting).
+ */
+class DecisionPriority
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(DecisionPriority, PriorityOrderHolds)
+{
+    const auto [mem, alu] = GetParam();
+    const Decision d = decide(inputs(mem, alu, 30, 40));
+    if (mem > 8) {
+        EXPECT_EQ(d.tendency, Tendency::MemoryHeavy);
+    } else if (alu > 8) {
+        EXPECT_EQ(d.tendency, Tendency::ComputeHeavy);
+    } else if (mem > 2) {
+        EXPECT_EQ(d.tendency, Tendency::MemorySaturated);
+    } else {
+        // waiting (30) > active/2 (20)
+        EXPECT_TRUE(d.tendency == Tendency::UnsaturatedComp ||
+                    d.tendency == Tendency::UnsaturatedMem);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, DecisionPriority,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.5, 8.0, 9.0, 30.0),
+                       ::testing::Values(0.0, 1.0, 5.0, 9.0, 30.0)));
+
+} // namespace
+} // namespace equalizer

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit and property tests for the energy model and DVFS scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+TEST(EnergyModel, EventDepositsConfiguredEnergy)
+{
+    PowerConfig cfg = PowerConfig::gtx480();
+    EnergyModel e(cfg);
+    e.record(EnergyEvent::SmAluOp, 10);
+    const double expected =
+        10.0 * cfg.eventEnergy[static_cast<int>(EnergyEvent::SmAluOp)];
+    EXPECT_DOUBLE_EQ(e.dynamicJoules(EnergyEvent::SmAluOp), expected);
+    EXPECT_DOUBLE_EQ(e.dynamicJoules(), expected);
+    EXPECT_EQ(e.eventCount(EnergyEvent::SmAluOp), 10u);
+}
+
+TEST(EnergyModel, SmEventsScaleWithSmVoltageSquared)
+{
+    EnergyModel e;
+    e.record(EnergyEvent::SmAluOp);
+    const double base = e.dynamicJoules();
+    e.setDomainStates(VfState::High, VfState::Normal);
+    e.record(EnergyEvent::SmAluOp);
+    const double boosted = e.dynamicJoules() - base;
+    EXPECT_NEAR(boosted / base, 1.15 * 1.15, 1e-9);
+}
+
+TEST(EnergyModel, MemEventsScaleWithMemVoltageOnly)
+{
+    EnergyModel e;
+    e.record(EnergyEvent::DramAccess);
+    const double base = e.dynamicJoules();
+    // Raising the SM domain must not affect memory-domain events.
+    e.setDomainStates(VfState::High, VfState::Normal);
+    e.record(EnergyEvent::DramAccess);
+    EXPECT_NEAR(e.dynamicJoules() - base, base, 1e-15);
+    // Lowering the memory domain scales them by 0.85^2.
+    e.setDomainStates(VfState::High, VfState::Low);
+    const double before = e.dynamicJoules();
+    e.record(EnergyEvent::DramAccess);
+    EXPECT_NEAR((e.dynamicJoules() - before) / base, 0.85 * 0.85, 1e-9);
+}
+
+TEST(EnergyModel, EventDomainsAreCorrect)
+{
+    EXPECT_EQ(eventDomain(EnergyEvent::SmAluOp), PowerDomain::Sm);
+    EXPECT_EQ(eventDomain(EnergyEvent::SmIssue), PowerDomain::Sm);
+    EXPECT_EQ(eventDomain(EnergyEvent::L1Access), PowerDomain::Sm);
+    EXPECT_EQ(eventDomain(EnergyEvent::NocFlit), PowerDomain::Memory);
+    EXPECT_EQ(eventDomain(EnergyEvent::L2Access), PowerDomain::Memory);
+    EXPECT_EQ(eventDomain(EnergyEvent::DramAccess), PowerDomain::Memory);
+    EXPECT_EQ(eventDomain(EnergyEvent::DramActivate), PowerDomain::Memory);
+}
+
+TEST(EnergyModel, LeakageScalesLinearlyWithVoltage)
+{
+    EnergyModel e;
+    const auto &cfg = e.config();
+    const double nominal =
+        e.leakageWatts(VfState::Normal, VfState::Normal);
+    EXPECT_DOUBLE_EQ(nominal, cfg.smLeakageWatts + cfg.memLeakageWatts);
+    const double sm_high = e.leakageWatts(VfState::High, VfState::Normal);
+    EXPECT_NEAR(sm_high - nominal, cfg.smLeakageWatts * 0.15, 1e-9);
+}
+
+TEST(EnergyModel, DramStandbyGrowsWithFrequencyState)
+{
+    EnergyModel e;
+    const double low = e.dramStandbyWatts(VfState::Low);
+    const double normal = e.dramStandbyWatts(VfState::Normal);
+    const double high = e.dramStandbyWatts(VfState::High);
+    EXPECT_LT(low, normal);
+    EXPECT_LT(normal, high);
+    // The paper's GDDR5 reference: ~30% higher idle current at high
+    // data rates. Across our Low->High window the modelled standby
+    // power swing should be in that ballpark (>25%).
+    EXPECT_GT(high / normal, 1.25);
+}
+
+TEST(EnergyModel, StaticJoulesIntegratesResidency)
+{
+    EnergyModel e;
+    std::array<Tick, numVfStates> sm{};
+    std::array<Tick, numVfStates> mem{};
+    // One second at Normal for both domains.
+    sm[static_cast<int>(VfState::Normal)] = ticksPerSecond;
+    mem[static_cast<int>(VfState::Normal)] = ticksPerSecond;
+    const double joules = e.staticJoules(sm, mem);
+    const double expected =
+        e.config().smLeakageWatts + e.config().memLeakageWatts +
+        e.dramStandbyWatts(VfState::Normal);
+    EXPECT_NEAR(joules, expected, 1e-6);
+}
+
+TEST(EnergyModel, StaticJoulesZeroForZeroResidency)
+{
+    EnergyModel e;
+    std::array<Tick, numVfStates> zero{};
+    EXPECT_DOUBLE_EQ(e.staticJoules(zero, zero), 0.0);
+}
+
+TEST(EnergyModel, ResetClearsAccumulation)
+{
+    EnergyModel e;
+    e.record(EnergyEvent::SmIssue, 100);
+    e.reset();
+    EXPECT_DOUBLE_EQ(e.dynamicJoules(), 0.0);
+    EXPECT_EQ(e.eventCount(EnergyEvent::SmIssue), 0u);
+}
+
+TEST(EnergyModel, EventNamesAreDistinct)
+{
+    for (int i = 0; i < numEnergyEvents; ++i)
+        for (int j = i + 1; j < numEnergyEvents; ++j)
+            EXPECT_STRNE(energyEventName(static_cast<EnergyEvent>(i)),
+                         energyEventName(static_cast<EnergyEvent>(j)));
+}
+
+/** Property sweep: totals equal the sum of per-event energies. */
+class EnergyAdditivity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EnergyAdditivity, TotalEqualsSumOfParts)
+{
+    EnergyModel e;
+    unsigned state = static_cast<unsigned>(GetParam());
+    for (int step = 0; step < 500; ++step) {
+        state = state * 1664525u + 1013904223u;
+        const auto ev = static_cast<EnergyEvent>(state % numEnergyEvents);
+        const auto count = 1 + (state >> 8) % 7;
+        if (step % 37 == 0) {
+            e.setDomainStates(static_cast<VfState>((state >> 4) % 3),
+                              static_cast<VfState>((state >> 6) % 3));
+        }
+        e.record(ev, count);
+    }
+    double sum = 0.0;
+    for (int i = 0; i < numEnergyEvents; ++i)
+        sum += e.dynamicJoules(static_cast<EnergyEvent>(i));
+    EXPECT_NEAR(e.dynamicJoules(), sum, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyAdditivity,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace equalizer

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Paper-level invariants of the Equalizer runtime, checked on live runs
+ * of roster kernels:
+ *  - the frequency ladder moves at most one step per epoch;
+ *  - energy mode never boosts a domain; performance mode never
+ *    throttles one;
+ *  - running concurrency never exceeds the controller's target;
+ *  - epoch cadence matches the configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/policies.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+KernelParams
+mini(const std::string &name)
+{
+    KernelParams p = KernelZoo::byName(name).params;
+    p.totalBlocks = std::max(15, p.totalBlocks / 2);
+    p.instrsPerWarp = std::max(100, p.instrsPerWarp / 2);
+    p.name = name + "-inv";
+    return p;
+}
+
+std::vector<EqualizerEpochRecord>
+traceRun(const std::string &kernel, EqualizerMode mode)
+{
+    std::vector<EqualizerEpochRecord> records;
+    ExperimentRunner runner;
+    runner.run(mini(kernel), policies::equalizer(mode),
+               [&records](GpuTop &, GpuController *ctrl) {
+                   auto *eq = dynamic_cast<EqualizerEngine *>(ctrl);
+                   eq->setEpochTrace(
+                       [&records](const EqualizerEpochRecord &r) {
+                           records.push_back(r);
+                       });
+               });
+    return records;
+}
+
+class EqualizerInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EqualizerInvariants, FrequencyMovesAtMostOneStepPerEpoch)
+{
+    for (auto mode :
+         {EqualizerMode::Performance, EqualizerMode::Energy}) {
+        const auto records = traceRun(GetParam(), mode);
+        for (std::size_t i = 1; i < records.size(); ++i) {
+            const int sm_delta =
+                std::abs(static_cast<int>(records[i].smState) -
+                         static_cast<int>(records[i - 1].smState));
+            const int mem_delta =
+                std::abs(static_cast<int>(records[i].memState) -
+                         static_cast<int>(records[i - 1].memState));
+            EXPECT_LE(sm_delta, 1) << GetParam() << " epoch " << i;
+            EXPECT_LE(mem_delta, 1) << GetParam() << " epoch " << i;
+        }
+    }
+}
+
+TEST_P(EqualizerInvariants, EnergyModeNeverBoosts)
+{
+    for (const auto &r : traceRun(GetParam(), EqualizerMode::Energy)) {
+        EXPECT_NE(r.smState, VfState::High) << GetParam();
+        EXPECT_NE(r.memState, VfState::High) << GetParam();
+    }
+}
+
+TEST_P(EqualizerInvariants, PerformanceModeNeverThrottles)
+{
+    for (const auto &r :
+         traceRun(GetParam(), EqualizerMode::Performance)) {
+        EXPECT_NE(r.smState, VfState::Low) << GetParam();
+        EXPECT_NE(r.memState, VfState::Low) << GetParam();
+    }
+}
+
+TEST_P(EqualizerInvariants, BlockTargetsStayWithinFeasibleRange)
+{
+    const auto &entry = KernelZoo::byName(GetParam());
+    for (auto mode :
+         {EqualizerMode::Performance, EqualizerMode::Energy}) {
+        for (const auto &r : traceRun(GetParam(), mode)) {
+            EXPECT_GE(r.meanTargetBlocks, 1.0) << GetParam();
+            // Epsilon for the /numSms accumulation rounding.
+            EXPECT_LE(r.meanTargetBlocks,
+                      static_cast<double>(entry.params.maxBlocksPerSm) +
+                          1e-6)
+                << GetParam();
+        }
+    }
+}
+
+TEST_P(EqualizerInvariants, RunningConcurrencyNeverExceedsTarget)
+{
+    ExperimentRunner runner;
+    bool violated = false;
+    runner.run(
+        mini(GetParam()),
+        policies::equalizer(EqualizerMode::Performance),
+        [&violated](GpuTop &gpu, GpuController *) {
+            gpu.setCycleObserver([&violated](GpuTop &g) {
+                if (g.smDomain().cycle() % 257 != 0)
+                    return;
+                for (int s = 0; s < g.numSms(); ++s)
+                    if (g.sm(s).unpausedBlocks() > g.sm(s).targetBlocks())
+                        violated = true;
+            });
+        });
+    EXPECT_FALSE(violated);
+}
+
+// One representative per category keeps the suite quick.
+INSTANTIATE_TEST_SUITE_P(Representatives, EqualizerInvariants,
+                         ::testing::Values("mri-q", "cfd-2", "kmn",
+                                           "sad-1"));
+
+TEST(EqualizerCadence, EpochsMatchConfiguredWindow)
+{
+    std::vector<Cycle> epoch_cycles;
+    ExperimentRunner runner;
+    EqualizerConfig cfg;
+    cfg.mode = EqualizerMode::Performance;
+    cfg.epochCycles = 2048;
+    runner.run(mini("sgemm"), policies::equalizer(cfg.mode, cfg),
+               [&epoch_cycles](GpuTop &, GpuController *ctrl) {
+                   auto *eq = dynamic_cast<EqualizerEngine *>(ctrl);
+                   eq->setEpochTrace(
+                       [&epoch_cycles](const EqualizerEpochRecord &r) {
+                           epoch_cycles.push_back(r.cycle);
+                       });
+               });
+    ASSERT_GE(epoch_cycles.size(), 2u);
+    for (std::size_t i = 1; i < epoch_cycles.size(); ++i)
+        EXPECT_EQ(epoch_cycles[i] - epoch_cycles[i - 1], 2048u);
+}
+
+} // namespace
+} // namespace equalizer

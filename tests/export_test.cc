@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the CSV/JSON metrics exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/export.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+RunMetrics
+sampleMetrics()
+{
+    RunMetrics m;
+    m.seconds = 0.001;
+    m.smCycles = 700000;
+    m.memCycles = 924000;
+    m.instructions = 1000000;
+    m.dynamicJoules = 0.05;
+    m.staticJoules = 0.06;
+    m.l1Hits = 800;
+    m.l1Misses = 200;
+    m.outcomeTotals.active = 1000;
+    m.outcomeTotals.waiting = 500;
+    m.outcomeTotals.excessMem = 100;
+    m.outcomeTotals.excessAlu = 200;
+    m.smResidency[static_cast<int>(VfState::Normal)] = 1000;
+    m.memResidency[static_cast<int>(VfState::Normal)] = 1000;
+    return m;
+}
+
+TEST(Exporter, CsvHasHeaderAndOneLinePerRow)
+{
+    MetricsExporter ex;
+    ex.add(MetricsRow{"kmn", "baseline", -1, sampleMetrics()});
+    ex.add(MetricsRow{"kmn", "equalizer-perf", 0, sampleMetrics()});
+    std::ostringstream os;
+    ex.writeCsv(os);
+    const std::string out = os.str();
+    // Header + 2 rows = 3 newline-terminated lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    EXPECT_NE(out.find("kernel,policy,invocation"), std::string::npos);
+    EXPECT_NE(out.find("kmn,baseline,-1"), std::string::npos);
+    EXPECT_NE(out.find("kmn,equalizer-perf,0"), std::string::npos);
+}
+
+TEST(Exporter, CsvColumnCountsMatchHeader)
+{
+    MetricsExporter ex;
+    ex.add(MetricsRow{"a", "b", 1, sampleMetrics()});
+    std::ostringstream os;
+    ex.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string header;
+    std::string row;
+    std::getline(is, header);
+    std::getline(is, row);
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(header.begin(), header.end(), ',')) + 1,
+              MetricsExporter::columns().size());
+}
+
+TEST(Exporter, JsonIsWellFormedish)
+{
+    MetricsExporter ex;
+    ex.add(MetricsRow{"lbm", "mem-high", -1, sampleMetrics()});
+    std::ostringstream os;
+    ex.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out[out.size() - 2], ']');
+    EXPECT_NE(out.find("\"kernel\": \"lbm\""), std::string::npos);
+    EXPECT_NE(out.find("\"ipc\": "), std::string::npos);
+}
+
+TEST(Exporter, AddResultExpandsInvocations)
+{
+    MetricsExporter ex;
+    std::vector<RunMetrics> invs(3, sampleMetrics());
+    ex.addResult("bfs-2", "baseline", sampleMetrics(), invs);
+    EXPECT_EQ(ex.size(), 4u); // 3 invocations + total
+    ex.clear();
+    EXPECT_EQ(ex.size(), 0u);
+}
+
+TEST(Exporter, FractionsAreNormalized)
+{
+    MetricsExporter ex;
+    ex.add(MetricsRow{"x", "y", -1, sampleMetrics()});
+    std::ostringstream os;
+    ex.writeCsv(os);
+    // waiting_frac = 500/1000 = 0.5 must appear in the row.
+    EXPECT_NE(os.str().find("0.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace equalizer

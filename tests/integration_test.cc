@@ -1,0 +1,246 @@
+/**
+ * @file
+ * End-to-end invariants: each kernel category produces the paper's
+ * warp-state signature and responds to the tuning knobs the way the
+ * paper's Section II characterization says it should.
+ *
+ * Kernels are downscaled (fewer blocks, shorter warps) so the suite
+ * stays fast; the signatures are scale-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/policies.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+/** Downscale a roster kernel for test speed. */
+KernelParams
+mini(const std::string &name, double block_scale = 0.5,
+     double length_scale = 0.35)
+{
+    KernelParams p = KernelZoo::byName(name).params;
+    p.totalBlocks = std::max(
+        15, static_cast<int>(p.totalBlocks * block_scale));
+    p.instrsPerWarp = std::max(
+        60, static_cast<int>(p.instrsPerWarp * length_scale));
+    p.name = name + "-mini";
+    return p;
+}
+
+struct Signature
+{
+    double xAlu;    ///< mean X_alu warps per cycle per SM
+    double xMem;    ///< mean X_mem warps per cycle per SM
+    double waiting; ///< mean waiting warps
+    double l1Hit;
+};
+
+Signature
+signatureOf(const RunMetrics &m)
+{
+    const double n = static_cast<double>(m.outcomeCycles);
+    return Signature{
+        static_cast<double>(m.outcomeTotals.excessAlu) / n,
+        static_cast<double>(m.outcomeTotals.excessMem) / n,
+        static_cast<double>(m.outcomeTotals.waiting) / n,
+        m.l1HitRate(),
+    };
+}
+
+// ------------------------------------------------ category signatures
+
+TEST(CategorySignature, ComputeKernelSaturatesAluPipes)
+{
+    ExperimentRunner runner;
+    const auto r = runner.run(mini("sgemm"), policies::baseline());
+    const auto sig = signatureOf(r.total);
+    const int wcta = KernelZoo::byName("sgemm").params.warpsPerBlock;
+    EXPECT_GT(sig.xAlu, static_cast<double>(wcta));
+    EXPECT_LT(sig.xMem, 2.0);
+    EXPECT_GT(sig.l1Hit, 0.6);
+}
+
+TEST(CategorySignature, MemoryKernelSaturatesBandwidth)
+{
+    ExperimentRunner runner;
+    const auto r = runner.run(mini("cfd-1"), policies::baseline());
+    const auto sig = signatureOf(r.total);
+    EXPECT_GT(sig.xMem, 2.0); // the paper's saturation indicator
+    EXPECT_LT(sig.xAlu, 2.0);
+    EXPECT_LT(sig.l1Hit, 0.2);
+}
+
+TEST(CategorySignature, CacheKernelThrashesAtFullOccupancy)
+{
+    ExperimentRunner runner;
+    const auto r = runner.run(mini("kmn", 0.6, 0.6), policies::baseline());
+    const auto sig = signatureOf(r.total);
+    EXPECT_LT(sig.l1Hit, 0.25); // thrashing
+    EXPECT_GT(sig.xMem,
+              static_cast<double>(
+                  KernelZoo::byName("kmn").params.warpsPerBlock));
+}
+
+TEST(CategorySignature, UnsaturatedKernelSaturatesNothing)
+{
+    ExperimentRunner runner;
+    const auto r = runner.run(mini("stncl"), policies::baseline());
+    const auto sig = signatureOf(r.total);
+    const int wcta = KernelZoo::byName("stncl").params.warpsPerBlock;
+    EXPECT_LT(sig.xAlu, static_cast<double>(wcta));
+    EXPECT_LT(sig.xMem, static_cast<double>(wcta));
+    EXPECT_GT(sig.waiting, 1.0);
+}
+
+TEST(CategorySignature, TextureKernelHidesBackPressure)
+{
+    // leuko-1 saturates DRAM through the texture path, yet X_mem stays
+    // near zero — the paper's explanation for Equalizer's one miss.
+    ExperimentRunner runner;
+    const auto r = runner.run(mini("leuko-1"), policies::baseline());
+    const auto sig = signatureOf(r.total);
+    EXPECT_LT(sig.xMem, 0.5);
+    EXPECT_GT(sig.waiting, 5.0);
+}
+
+TEST(CategorySignature, LoadImbalancedKernelIdlesMostSms)
+{
+    ExperimentRunner runner;
+    KernelParams p = KernelZoo::byName("prtcl-2").params;
+    p.instrsPerWarp = 300;
+    p.name = "prtcl-2-mini";
+    const auto r = runner.run(p, policies::baseline());
+    // One straggler block: issued warps per cycle per SM collapses well
+    // below the issue width once the short blocks drain.
+    const double issued_per_cycle =
+        static_cast<double>(r.total.outcomeTotals.issued) /
+        static_cast<double>(r.total.outcomeCycles);
+    EXPECT_LT(issued_per_cycle, 0.5);
+}
+
+// ------------------------------------------------ knob responses (Fig 1)
+
+TEST(KnobResponse, SmBoostSpeedsComputeNotMemory)
+{
+    ExperimentRunner runner;
+    const auto comp_base = runner.run(mini("cutcp"), policies::baseline());
+    const auto comp_fast = runner.run(mini("cutcp"), policies::smHigh());
+    const double comp_speedup =
+        speedupOver(comp_base.total, comp_fast.total);
+    EXPECT_GT(comp_speedup, 1.05);
+
+    const auto mem_base = runner.run(mini("lbm"), policies::baseline());
+    const auto mem_fast = runner.run(mini("lbm"), policies::smHigh());
+    const double mem_speedup = speedupOver(mem_base.total, mem_fast.total);
+    EXPECT_LT(mem_speedup, 1.05);
+    EXPECT_GT(comp_speedup, mem_speedup);
+}
+
+TEST(KnobResponse, MemBoostSpeedsMemoryNotCompute)
+{
+    ExperimentRunner runner;
+    const auto mem_base = runner.run(mini("lbm"), policies::baseline());
+    const auto mem_fast = runner.run(mini("lbm"), policies::memHigh());
+    EXPECT_GT(speedupOver(mem_base.total, mem_fast.total), 1.08);
+
+    const auto comp_base = runner.run(mini("cutcp"), policies::baseline());
+    const auto comp_fast = runner.run(mini("cutcp"), policies::memHigh());
+    EXPECT_LT(speedupOver(comp_base.total, comp_fast.total), 1.05);
+}
+
+TEST(KnobResponse, SmThrottleCheapForMemoryKernels)
+{
+    ExperimentRunner runner;
+    const auto base = runner.run(mini("cfd-2"), policies::baseline());
+    const auto low = runner.run(mini("cfd-2"), policies::smLow());
+    // Little performance loss, real energy gain.
+    EXPECT_GT(speedupOver(base.total, low.total), 0.93);
+    EXPECT_GT(energyEfficiencyOver(base.total, low.total), 1.03);
+}
+
+TEST(KnobResponse, MemThrottleCheapForComputeKernels)
+{
+    ExperimentRunner runner;
+    const auto base = runner.run(mini("mri-q"), policies::baseline());
+    const auto low = runner.run(mini("mri-q"), policies::memLow());
+    EXPECT_GT(speedupOver(base.total, low.total), 0.96);
+    EXPECT_GT(energyEfficiencyOver(base.total, low.total), 1.02);
+}
+
+TEST(KnobResponse, CacheKernelPrefersFewerBlocks)
+{
+    ExperimentRunner runner;
+    const KernelParams p = mini("kmn", 0.6, 0.6);
+    const auto full = runner.run(p, policies::baseline());
+    const auto one = runner.run(p, policies::staticBlocks(1));
+    EXPECT_GT(speedupOver(full.total, one.total), 1.5);
+    EXPECT_GT(one.total.l1HitRate(), full.total.l1HitRate() + 0.3);
+}
+
+TEST(KnobResponse, MemoryKernelPerformanceSaturatesWithBlocks)
+{
+    // Figure 5: beyond a few blocks, more concurrency buys nothing.
+    ExperimentRunner runner;
+    const KernelParams p = mini("cfd-1");
+    const auto two = runner.run(p, policies::staticBlocks(2));
+    const auto max = runner.run(p, policies::baseline());
+    EXPECT_NEAR(speedupOver(two.total, max.total), 1.0, 0.08);
+}
+
+// ------------------------------------------------ Equalizer end-to-end
+
+TEST(EqualizerEndToEnd, PerformanceModeNeverBadlyRegresses)
+{
+    ExperimentRunner runner;
+    for (const auto *name : {"sgemm", "lbm", "stncl"}) {
+        const auto base = runner.run(mini(name), policies::baseline());
+        const auto eq = runner.run(
+            mini(name), policies::equalizer(EqualizerMode::Performance));
+        EXPECT_GT(speedupOver(base.total, eq.total), 0.95) << name;
+    }
+}
+
+TEST(EqualizerEndToEnd, PerformanceModeBoostsCacheKernelHard)
+{
+    ExperimentRunner runner;
+    const KernelParams p = mini("kmn", 0.6, 0.6);
+    const auto base = runner.run(p, policies::baseline());
+    const auto eq =
+        runner.run(p, policies::equalizer(EqualizerMode::Performance));
+    EXPECT_GT(speedupOver(base.total, eq.total), 1.5);
+}
+
+TEST(EqualizerEndToEnd, EnergyModeSavesEnergyOnSkewedKernels)
+{
+    ExperimentRunner runner;
+    for (const auto *name : {"sgemm", "cfd-2"}) {
+        const auto base = runner.run(mini(name), policies::baseline());
+        const auto eq = runner.run(
+            mini(name), policies::equalizer(EqualizerMode::Energy));
+        EXPECT_GT(energyEfficiencyOver(base.total, eq.total), 1.02)
+            << name;
+        EXPECT_GT(speedupOver(base.total, eq.total), 0.93) << name;
+    }
+}
+
+TEST(EqualizerEndToEnd, DeterministicAcrossIdenticalRuns)
+{
+    const KernelParams p = mini("sc");
+    ExperimentRunner a;
+    ExperimentRunner b;
+    const auto ra =
+        a.run(p, policies::equalizer(EqualizerMode::Performance));
+    const auto rb =
+        b.run(p, policies::equalizer(EqualizerMode::Performance));
+    EXPECT_EQ(ra.total.smCycles, rb.total.smCycles);
+    EXPECT_DOUBLE_EQ(ra.total.dynamicJoules, rb.total.dynamicJoules);
+}
+
+} // namespace
+} // namespace equalizer

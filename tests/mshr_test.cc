@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+TEST(Mshr, FirstMissAllocates)
+{
+    MshrFile m(2, 4);
+    EXPECT_EQ(m.allocate(0x100, 1), MshrFile::Outcome::NewMiss);
+    EXPECT_TRUE(m.tracking(0x100));
+    EXPECT_EQ(m.outstanding(), 1);
+}
+
+TEST(Mshr, SecondMissMerges)
+{
+    MshrFile m(2, 4);
+    m.allocate(0x100, 1);
+    EXPECT_EQ(m.allocate(0x100, 2), MshrFile::Outcome::Merged);
+    EXPECT_EQ(m.outstanding(), 1);
+}
+
+TEST(Mshr, FullFileRejectsNewLines)
+{
+    MshrFile m(2, 4);
+    m.allocate(0x100, 1);
+    m.allocate(0x200, 2);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(0x300, 3), MshrFile::Outcome::NoEntry);
+    // Merging into an existing entry still works while full.
+    EXPECT_EQ(m.allocate(0x100, 4), MshrFile::Outcome::Merged);
+}
+
+TEST(Mshr, MergeListLimitEnforced)
+{
+    MshrFile m(4, 2);
+    m.allocate(0x100, 1);
+    EXPECT_EQ(m.allocate(0x100, 2), MshrFile::Outcome::Merged);
+    EXPECT_EQ(m.allocate(0x100, 3), MshrFile::Outcome::NoMerge);
+}
+
+TEST(Mshr, FillReturnsAllWaitersInOrder)
+{
+    MshrFile m(4, 4);
+    m.allocate(0x100, 5);
+    m.allocate(0x100, 6);
+    m.allocate(0x100, 7);
+    const auto waiters = m.fill(0x100);
+    ASSERT_EQ(waiters.size(), 3u);
+    EXPECT_EQ(waiters[0], 5);
+    EXPECT_EQ(waiters[1], 6);
+    EXPECT_EQ(waiters[2], 7);
+    EXPECT_FALSE(m.tracking(0x100));
+    EXPECT_EQ(m.outstanding(), 0);
+}
+
+TEST(Mshr, FillUnknownLineReturnsEmpty)
+{
+    MshrFile m(4, 4);
+    EXPECT_TRUE(m.fill(0xdead).empty());
+}
+
+TEST(Mshr, ClearDropsEverything)
+{
+    MshrFile m(4, 4);
+    m.allocate(0x100, 1);
+    m.clear();
+    EXPECT_EQ(m.outstanding(), 0);
+    EXPECT_FALSE(m.tracking(0x100));
+}
+
+TEST(Mshr, FillFreesCapacityForNewMisses)
+{
+    MshrFile m(1, 4);
+    m.allocate(0x100, 1);
+    EXPECT_EQ(m.allocate(0x200, 2), MshrFile::Outcome::NoEntry);
+    m.fill(0x100);
+    EXPECT_EQ(m.allocate(0x200, 2), MshrFile::Outcome::NewMiss);
+}
+
+} // namespace
+} // namespace equalizer

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the bounded/delay queue building blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/queues.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(*q.pop(), 1);
+    EXPECT_EQ(*q.pop(), 2);
+    EXPECT_EQ(*q.pop(), 3);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, RejectsWhenFull)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(q.size(), 2u);
+    q.pop();
+    EXPECT_FALSE(q.full());
+    EXPECT_TRUE(q.push(3));
+}
+
+TEST(BoundedQueue, FrontPeeksWithoutPopping)
+{
+    BoundedQueue<int> q(2);
+    q.push(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, ClearEmpties)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueueDeath, FrontOnEmptyPanics)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_DEATH(q.front(), "empty");
+}
+
+TEST(DelayQueue, HonorsReadyTimes)
+{
+    DelayQueue<int> q(8);
+    EXPECT_TRUE(q.push(1, 10));
+    EXPECT_TRUE(q.push(2, 20));
+    EXPECT_FALSE(q.headReady(9));
+    EXPECT_TRUE(q.headReady(10));
+    EXPECT_EQ(*q.popReady(10), 1);
+    EXPECT_FALSE(q.popReady(15).has_value());
+    EXPECT_EQ(*q.popReady(25), 2);
+}
+
+TEST(DelayQueue, RejectsWhenFull)
+{
+    DelayQueue<int> q(1);
+    EXPECT_TRUE(q.push(1, 0));
+    EXPECT_FALSE(q.push(2, 5));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DelayQueue, SameReadyTimeKeepsFifo)
+{
+    DelayQueue<int> q(4);
+    q.push(1, 5);
+    q.push(2, 5);
+    EXPECT_EQ(*q.popReady(5), 1);
+    EXPECT_EQ(*q.popReady(5), 2);
+}
+
+TEST(DelayQueueDeath, RejectsDecreasingReadyTimes)
+{
+    DelayQueue<int> q(4);
+    q.push(1, 10);
+    EXPECT_DEATH(q.push(2, 5), "non-decreasing");
+}
+
+TEST(DelayQueue, ClearEmpties)
+{
+    DelayQueue<int> q(4);
+    q.push(1, 1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    // After a clear, earlier ready times are acceptable again.
+    EXPECT_TRUE(q.push(2, 0));
+}
+
+/** Property sweep: random push/pop sequences preserve count and order. */
+class BoundedQueueProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoundedQueueProperty, NeverExceedsCapacityAndStaysFifo)
+{
+    const int cap = GetParam();
+    BoundedQueue<int> q(static_cast<std::size_t>(cap));
+    int next_in = 0;
+    int next_out = 0;
+    unsigned state = 12345u + static_cast<unsigned>(cap);
+    for (int step = 0; step < 2000; ++step) {
+        state = state * 1664525u + 1013904223u;
+        if (state & 1) {
+            if (q.push(next_in))
+                ++next_in;
+            else
+                EXPECT_EQ(q.size(), static_cast<std::size_t>(cap));
+        } else {
+            auto v = q.pop();
+            if (v) {
+                EXPECT_EQ(*v, next_out);
+                ++next_out;
+            } else {
+                EXPECT_TRUE(q.empty());
+            }
+        }
+        EXPECT_LE(q.size(), static_cast<std::size_t>(cap));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BoundedQueueProperty,
+                         ::testing::Values(1, 2, 4, 8, 64));
+
+} // namespace
+} // namespace equalizer

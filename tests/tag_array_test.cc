@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative LRU tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/tag_array.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+constexpr Addr line = 128;
+
+TEST(TagArray, MissThenHitAfterInsert)
+{
+    TagArray tags(4, 2);
+    EXPECT_FALSE(tags.lookup(0));
+    tags.insert(0);
+    EXPECT_TRUE(tags.lookup(0));
+}
+
+TEST(TagArray, EvictsLruWithinSet)
+{
+    TagArray tags(4, 2);
+    // Three lines mapping to set 0: line indices 0, 4, 8.
+    tags.insert(0 * line);
+    tags.insert(4 * line);
+    tags.lookup(0 * line); // make line 0 MRU
+    auto evicted = tags.insert(8 * line);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->lineAddr, 4 * line);
+    EXPECT_TRUE(tags.probe(0 * line));
+    EXPECT_FALSE(tags.probe(4 * line));
+    EXPECT_TRUE(tags.probe(8 * line));
+}
+
+TEST(TagArray, InsertExistingTouchesInsteadOfEvicting)
+{
+    TagArray tags(4, 2);
+    tags.insert(0);
+    auto evicted = tags.insert(0);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(tags.validCount(), 1);
+}
+
+TEST(TagArray, ProbeDoesNotTouchLru)
+{
+    TagArray tags(4, 2);
+    tags.insert(0 * line);
+    tags.insert(4 * line);
+    // Probe (unlike lookup) must not promote line 0.
+    tags.probe(0 * line);
+    auto evicted = tags.insert(8 * line);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->lineAddr, 0 * line);
+}
+
+TEST(TagArray, OwnerIsTrackedAndReportedOnEviction)
+{
+    TagArray tags(1, 1);
+    tags.insert(0, /*owner=*/7);
+    auto evicted = tags.insert(1 * line, /*owner=*/9);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->owner, 7);
+}
+
+TEST(TagArray, LookupUpdatesOwner)
+{
+    TagArray tags(1, 1);
+    tags.insert(0, 1);
+    tags.lookup(0, 2);
+    auto evicted = tags.insert(1 * line, 3);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->owner, 2);
+}
+
+TEST(TagArray, InvalidateRemovesLine)
+{
+    TagArray tags(4, 2);
+    tags.insert(0);
+    EXPECT_TRUE(tags.invalidate(0));
+    EXPECT_FALSE(tags.probe(0));
+    EXPECT_FALSE(tags.invalidate(0));
+}
+
+TEST(TagArray, InvalidateAllClearsEverything)
+{
+    TagArray tags(4, 2);
+    for (int i = 0; i < 8; ++i)
+        tags.insert(static_cast<Addr>(i) * line);
+    EXPECT_GT(tags.validCount(), 0);
+    tags.invalidateAll();
+    EXPECT_EQ(tags.validCount(), 0);
+}
+
+TEST(TagArray, DistinctSetsDoNotInterfere)
+{
+    TagArray tags(4, 1);
+    tags.insert(0 * line); // set 0
+    tags.insert(1 * line); // set 1
+    EXPECT_TRUE(tags.probe(0 * line));
+    EXPECT_TRUE(tags.probe(1 * line));
+}
+
+TEST(TagArrayDeath, RejectsNonPowerOfTwoSets)
+{
+    EXPECT_DEATH(TagArray(3, 2), "power-of-two");
+}
+
+/**
+ * Property test: the tag array must agree with a reference true-LRU
+ * model across random access traces, for several geometries.
+ */
+struct Geometry
+{
+    int sets;
+    int ways;
+};
+
+class TagArrayProperty : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(TagArrayProperty, MatchesReferenceLruModel)
+{
+    const auto [sets, ways] = GetParam();
+    TagArray tags(sets, ways);
+
+    // Reference model: per set, a list in LRU order (front = LRU).
+    std::map<int, std::list<Addr>> ref;
+    auto ref_set = [&](Addr a) {
+        return static_cast<int>((a / line) % static_cast<Addr>(sets));
+    };
+
+    Rng rng(static_cast<std::uint64_t>(sets * 1000 + ways));
+    for (int step = 0; step < 5000; ++step) {
+        const Addr a = rng.below(static_cast<std::uint64_t>(sets) * ways * 3) *
+                       line;
+        auto &lru = ref[ref_set(a)];
+        const auto it = std::find(lru.begin(), lru.end(), a);
+        const bool ref_hit = it != lru.end();
+
+        const bool hit = tags.lookup(a);
+        ASSERT_EQ(hit, ref_hit) << "step " << step << " addr " << a;
+
+        if (ref_hit) {
+            lru.erase(it);
+            lru.push_back(a);
+        } else {
+            tags.insert(a);
+            if (static_cast<int>(lru.size()) >= ways)
+                lru.pop_front();
+            lru.push_back(a);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagArrayProperty,
+    ::testing::Values(Geometry{1, 1}, Geometry{1, 4}, Geometry{4, 2},
+                      Geometry{16, 4}, Geometry{64, 4}, Geometry{128, 8}));
+
+} // namespace
+} // namespace equalizer

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Category-signature sweep over the complete 27-kernel roster: every
+ * kernel, downscaled for test speed, must land in its paper category by
+ * the warp-state observables Algorithm 1 consumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/policies.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+struct Signature
+{
+    double xAlu;
+    double xMem;
+    double waiting;
+    double l1Hit;
+};
+
+class ZooSignature : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static Signature
+    measure(const std::string &name)
+    {
+        KernelParams p = KernelZoo::byName(name).params;
+        p.totalBlocks = std::max(15, p.totalBlocks / 2);
+        p.instrsPerWarp = std::max(80, p.instrsPerWarp * 2 / 5);
+        p.name = name + "-sig";
+        ExperimentRunner runner;
+        const auto r = runner.run(p, policies::baseline());
+        const double n = static_cast<double>(r.total.outcomeCycles);
+        return Signature{
+            static_cast<double>(r.total.outcomeTotals.excessAlu) / n,
+            static_cast<double>(r.total.outcomeTotals.excessMem) / n,
+            static_cast<double>(r.total.outcomeTotals.waiting) / n,
+            r.total.l1HitRate()};
+    }
+};
+
+TEST_P(ZooSignature, BaselineSignatureMatchesPaperCategory)
+{
+    const std::string name = GetParam();
+    const auto &entry = KernelZoo::byName(name);
+    const int wcta = entry.params.warpsPerBlock;
+    const Signature sig = measure(name);
+
+    switch (entry.params.category) {
+      case KernelCategory::Compute:
+        if (name == "prtcl-2") {
+            // Load imbalance: averaged over the long idle tail the
+            // absolute pressure is small, but the inclination holds.
+            EXPECT_GT(sig.xAlu, sig.xMem);
+            break;
+        }
+        // Dominant ALU pressure beyond the Algorithm 1 threshold.
+        EXPECT_GT(sig.xAlu, static_cast<double>(wcta)) << name;
+        EXPECT_GT(sig.xAlu, sig.xMem) << name;
+        break;
+
+      case KernelCategory::Memory:
+        if (name == "leuko-1") {
+            // Texture buffering hides the pressure: the paper's
+            // documented misdetection case.
+            EXPECT_LT(sig.xMem, 1.0);
+            EXPECT_GT(sig.waiting, 5.0);
+            break;
+        }
+        EXPECT_GT(sig.xMem, 2.0) << name; // bandwidth saturated
+        EXPECT_GT(sig.xMem, sig.xAlu) << name;
+        break;
+
+      case KernelCategory::Cache:
+        EXPECT_LT(sig.l1Hit, 0.45) << name; // thrashing at max blocks
+        EXPECT_GT(sig.xMem, sig.xAlu) << name;
+        EXPECT_GT(sig.xMem, 2.0) << name;
+        break;
+
+      case KernelCategory::Unsaturated:
+        EXPECT_LT(sig.xAlu, static_cast<double>(wcta)) << name;
+        EXPECT_LT(sig.xMem, static_cast<double>(wcta)) << name;
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All27, ZooSignature,
+                         ::testing::ValuesIn(KernelZoo::names()));
+
+} // namespace
+} // namespace equalizer
