@@ -26,7 +26,8 @@ residencyOf(const RunMetrics &m)
 {
     double total = 0.0;
     for (int i = 0; i < numVfStates; ++i)
-        total += static_cast<double>(m.smResidency[static_cast<std::size_t>(i)]);
+        total += static_cast<double>(
+            m.smResidency[static_cast<std::size_t>(i)]);
     if (total <= 0.0)
         return Residency{0, 0, 0, 0, 1};
     auto frac = [total](Tick t) { return static_cast<double>(t) / total; };

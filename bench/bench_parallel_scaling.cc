@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parallel-executor scaling: simulated SM cycles per wall-clock second
+ * at 1/2/4/8 worker threads on the default 15-SM configuration.
+ *
+ * The simulation is bit-deterministic across thread counts, so every
+ * row replays the identical run and the only thing that varies is
+ * wall-clock time. The JSON output is uploaded as a CI artifact so the
+ * performance trajectory stays visible per PR.
+ *
+ * Usage:
+ *   bench_parallel_scaling [kernel=<name>] [sms=<n>] [threads=a,b,c]
+ *                          [json=<path>]
+ */
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+namespace
+{
+
+std::vector<int>
+parseThreadList(const std::string &csv)
+{
+    std::vector<int> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(std::stoi(tok));
+    return out;
+}
+
+struct ScalingRow
+{
+    int threads;
+    double seconds;
+    Cycle smCycles;
+    double cyclesPerSec;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg =
+        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc));
+    const std::string kernel = cfg.getString("kernel", "kmn");
+    const std::string threads_csv = cfg.getString("threads", "1,2,4,8");
+    const std::string json_path = cfg.getString("json", "");
+
+    GpuConfig gcfg = GpuConfig::gtx480();
+    gcfg.numSms = static_cast<int>(cfg.getInt("sms", gcfg.numSms));
+
+    const ZooEntry &entry = KernelZoo::byName(kernel);
+
+    banner("parallel scaling: " + kernel + " on " +
+           std::to_string(gcfg.numSms) + " SMs (hardware threads: " +
+           std::to_string(ParallelExecutor::hardwareThreads()) + ")");
+
+    std::vector<ScalingRow> rows;
+    TablePrinter t({"threads", "wall s", "sm cycles", "cycles/s",
+                    "speedup"});
+    double base_cps = 0.0;
+    for (int threads : parseThreadList(threads_csv)) {
+        progress("scaling threads=" + std::to_string(threads));
+        ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
+
+        const auto start = std::chrono::steady_clock::now();
+        const auto r = runner.run(entry.params, policies::baseline());
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+
+        ScalingRow row;
+        row.threads = runner.threads();
+        row.seconds = wall.count();
+        row.smCycles = r.total.smCycles;
+        row.cyclesPerSec = row.seconds > 0.0
+                               ? static_cast<double>(row.smCycles) /
+                                     row.seconds
+                               : 0.0;
+        if (base_cps == 0.0)
+            base_cps = row.cyclesPerSec;
+        rows.push_back(row);
+
+        t.row({std::to_string(row.threads), fmt(row.seconds, 3),
+               std::to_string(row.smCycles), fmt(row.cyclesPerSec, 0),
+               fmt(base_cps > 0.0 ? row.cyclesPerSec / base_cps : 0.0,
+                   2) +
+                   "x"});
+    }
+    t.print();
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        os << "{\n  \"bench\": \"parallel_scaling\",\n"
+           << "  \"kernel\": \"" << kernel << "\",\n"
+           << "  \"sms\": " << gcfg.numSms << ",\n"
+           << "  \"hardware_threads\": "
+           << ParallelExecutor::hardwareThreads() << ",\n"
+           << "  \"rows\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto &r = rows[i];
+            os << "    {\"threads\": " << r.threads
+               << ", \"wall_seconds\": " << r.seconds
+               << ", \"sm_cycles\": " << r.smCycles
+               << ", \"cycles_per_sec\": " << r.cyclesPerSec << "}"
+               << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+        progress("wrote " + json_path);
+    }
+    return 0;
+}

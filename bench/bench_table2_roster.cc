@@ -2,27 +2,49 @@
  * @file
  * Table II reproduction: the benchmark roster with measured baseline
  * characteristics alongside the paper's structural parameters.
+ *
+ * Usage:
+ *   bench_table2_roster [kernels=<n>] [json=<path>]
+ *
+ * kernels=<n> truncates the roster to its first n entries (the CI smoke
+ * job uses this as a reduced budget); json=<path> additionally exports
+ * every measured row through MetricsExporter for the workflow artifact.
  */
 
+#include <fstream>
+
 #include "bench_util.hh"
+#include "common/config.hh"
+#include "harness/export.hh"
 
 using namespace equalizer;
 using namespace equalizer::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    ExperimentRunner runner;
+    const Config cfg =
+        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc));
+    const auto limit = cfg.getInt("kernels", -1);
+    const std::string json_path = cfg.getString("json", "");
+
+    ExperimentRunner runner = makeRunner();
+    MetricsExporter exporter;
 
     banner("Table II: kernel roster (paper structure + measured "
            "baseline behaviour)");
     TablePrinter t({"application", "kernel", "type", "fraction",
                     "blocks", "w_cta", "ipc", "l1-hit", "x_alu", "x_mem"});
 
-    for (const auto &name : kernelsInFigureOrder()) {
+    std::vector<std::string> names = kernelsInFigureOrder();
+    if (limit >= 0 && static_cast<std::size_t>(limit) < names.size())
+        names.resize(static_cast<std::size_t>(limit));
+
+    for (const auto &name : names) {
         progress("table2 " + name);
         const auto &entry = KernelZoo::byName(name);
         const auto r = runner.run(entry.params, policies::baseline());
+        exporter.addResult(name, "baseline", r.total, r.invocations);
         const double cycles = static_cast<double>(r.total.outcomeCycles);
         t.row({entry.application, name,
                kernelCategoryName(entry.params.category),
@@ -36,6 +58,12 @@ main()
                        cycles, 2)});
     }
     t.print();
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        exporter.writeJson(os);
+        progress("wrote " + json_path);
+    }
 
     std::cout << "\nNote: spmv is listed as Compute in the paper's "
                  "Table II but treated as cache-sensitive by Figures 4, "

@@ -6,6 +6,7 @@
 #ifndef EQ_BENCH_BENCH_UTIL_HH
 #define EQ_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -18,6 +19,26 @@
 
 namespace equalizer::bench
 {
+
+/**
+ * Simulation worker threads for benches: the EQ_THREADS environment
+ * variable when set (CI pins it), otherwise 0 = hardware concurrency.
+ * Results are identical for any value; only wall-clock time changes.
+ */
+inline int
+simThreadsFromEnv()
+{
+    const char *v = std::getenv("EQ_THREADS");
+    return v ? std::atoi(v) : 0;
+}
+
+/** An ExperimentRunner honouring the EQ_THREADS override. */
+inline ExperimentRunner
+makeRunner(GpuConfig cfg = GpuConfig::gtx480())
+{
+    return ExperimentRunner(cfg, PowerConfig::gtx480(),
+                            simThreadsFromEnv());
+}
 
 /** Categories in the paper's figure order. */
 inline const std::vector<KernelCategory> &

@@ -16,6 +16,8 @@
  *   sms=<n> issue_width=<n> lsu_depth=<n> reg_ports=<n>
  *   scheduler=lrr|gto sm_mhz=<f> mem_mhz=<f>
  *   epoch=<cycles> hysteresis=<n> sample=<cycles>
+ *   threads=<n> (simulation worker threads; 0 = hardware concurrency,
+ *                1 = serial; results are identical for any value)
  *   list=1 (print the roster and exit)
  */
 
@@ -107,12 +109,14 @@ main(int argc, char **argv)
         gcfg.scheduler = SchedulerPolicy::GreedyThenOldest;
 
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
-    ExperimentRunner runner(gcfg);
+    const int threads = static_cast<int>(cfg.getInt("threads", 0));
+    ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
     const PolicySpec policy = resolvePolicy(policy_name, cfg);
 
     std::cout << "kernel " << kernel_name << " ("
               << kernelCategoryName(entry.params.category) << "), policy "
-              << policy.name << ", " << gcfg.numSms << " SMs\n";
+              << policy.name << ", " << gcfg.numSms << " SMs, "
+              << runner.threads() << " sim thread(s)\n";
 
     const auto r = runner.run(entry.params, policy);
     const auto &m = r.total;

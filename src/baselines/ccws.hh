@@ -13,6 +13,7 @@
 #ifndef EQ_BASELINES_CCWS_HH
 #define EQ_BASELINES_CCWS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,7 +33,8 @@ struct CcwsConfig
     int vtaWays = 4;           ///< ... and ways (8 entries per warp)
     double baseScore = 32.0;   ///< per-warp baseline locality score
     double vtaHitGain = 48.0;  ///< score bump on detected lost locality
-    double maxScore = 256.0;   ///< clamp (~budget/6: a hot warp cannot starve the SM)
+    /// Clamp (~budget/6: a hot warp cannot starve the SM).
+    double maxScore = 256.0;
     double decayPerKilocycle = 20.0; ///< score decay rate toward base
     Cycle updateInterval = 32; ///< cycles between issue-set recomputes
     int minAllowedWarps = 1;
@@ -67,7 +69,9 @@ class Ccws : public GpuController
 
     CcwsConfig cfg_;
     std::vector<std::unique_ptr<SmState>> sms_;
-    std::uint64_t lostEvents_ = 0;
+    /// Bumped from per-SM L1 miss hooks, which run on worker threads
+    /// under parallel execution; the count is order-independent.
+    std::atomic<std::uint64_t> lostEvents_{0};
 };
 
 } // namespace equalizer

@@ -50,8 +50,8 @@ template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    detail::exitWithMessage("fatal", detail::concat(std::forward<Args>(args)...),
-                            false);
+    detail::exitWithMessage(
+        "fatal", detail::concat(std::forward<Args>(args)...), false);
 }
 
 /**
@@ -62,8 +62,8 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args &&...args)
 {
-    detail::exitWithMessage("panic", detail::concat(std::forward<Args>(args)...),
-                            true);
+    detail::exitWithMessage(
+        "panic", detail::concat(std::forward<Args>(args)...), true);
 }
 
 /** Print a warning; the simulation continues. */
@@ -80,7 +80,8 @@ void
 inform(Args &&...args)
 {
     if (verbose())
-        detail::printMessage("info", detail::concat(std::forward<Args>(args)...));
+        detail::printMessage(
+            "info", detail::concat(std::forward<Args>(args)...));
 }
 
 /** panic() unless the condition holds. */

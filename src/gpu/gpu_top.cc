@@ -10,10 +10,28 @@ GpuTop::GpuTop(GpuConfig cfg, PowerConfig power)
       memDomain_("mem", cfg.memNominalHz),
       memSystem_(cfg_.mem, cfg_.numSms, energy_)
 {
+    energy_.ensureSmShards(cfg_.numSms);
     for (int s = 0; s < cfg_.numSms; ++s)
         sms_.push_back(std::make_unique<StreamingMultiprocessor>(
             cfg_, s, memSystem_, energy_));
     energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+}
+
+void
+GpuTop::tickSms(Cycle mem_now)
+{
+    // The parallel phase: SMs share no mutable state with each other
+    // (each owns its warps, L1, LSU, injection/response queues and
+    // energy shard), so they may tick concurrently. Everything after
+    // this call runs on the calling thread — the epoch barrier.
+    if (executor_ && executor_->threads() > 1) {
+        executor_->parallelFor(numSms(), [this, mem_now](int s) {
+            sms_[static_cast<std::size_t>(s)]->tick(mem_now);
+        });
+    } else {
+        for (const auto &sm : sms_)
+            sm->tick(mem_now);
+    }
 }
 
 void
@@ -116,8 +134,7 @@ GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
             smDomain_.advance();
             energy_.setDomainStates(smDomain_.state(), memDomain_.state());
             const Cycle mem_now = memDomain_.cycle();
-            for (const auto &sm : sms_)
-                sm->tick(mem_now);
+            tickSms(mem_now);
             distributeBlocks();
             if (controller_)
                 controller_->onSmCycle(*this);
@@ -249,8 +266,7 @@ GpuTop::runKernelsConcurrent(
             smDomain_.advance();
             energy_.setDomainStates(smDomain_.state(), memDomain_.state());
             const Cycle mem_now = memDomain_.cycle();
-            for (const auto &sm : sms_)
-                sm->tick(mem_now);
+            tickSms(mem_now);
             distribute();
             if (controller_)
                 controller_->onSmCycle(*this);

@@ -21,6 +21,7 @@
 #include "mem/memory_system.hh"
 #include "power/energy_model.hh"
 #include "sim/clock_domain.hh"
+#include "sim/parallel_executor.hh"
 
 namespace equalizer
 {
@@ -47,6 +48,25 @@ class GpuTop
     void setController(GpuController *controller)
     {
         controller_ = controller;
+    }
+
+    /**
+     * Install a worker pool for the per-SM parallel phase (non-owning;
+     * nullptr or a 1-thread pool selects the serial oracle path). SMs
+     * then tick concurrently between epoch barriers; the memory system,
+     * controller hooks, observers, work distribution and stats all stay
+     * on the calling thread, so results are bit-identical to the serial
+     * path for any thread count (docs/PARALLELISM.md).
+     */
+    void setParallelExecutor(ParallelExecutor *executor)
+    {
+        executor_ = executor;
+    }
+
+    /** Threads used for the SM phase (1 = serial path). */
+    int simThreads() const
+    {
+        return executor_ ? executor_->threads() : 1;
     }
 
     /**
@@ -139,6 +159,7 @@ class GpuTop
     Snapshot takeSnapshot() const;
     void distributeBlocks();
     bool kernelDone() const;
+    void tickSms(Cycle mem_now);
 
     GpuConfig cfg_;
     EnergyModel energy_;
@@ -149,6 +170,7 @@ class GpuTop
     GlobalWorkDistributor gwde_;
 
     GpuController *controller_ = nullptr;
+    ParallelExecutor *executor_ = nullptr;
     std::function<void(GpuTop &)> observer_;
     const KernelLaunch *currentKernel_ = nullptr;
 };

@@ -16,6 +16,7 @@ StreamingMultiprocessor::StreamingMultiprocessor(const GpuConfig &cfg,
       l1_(cfg.mem, id, mem_system.smInjectQueue(id), energy),
       lsu_(cfg, id, l1_, mem_system)
 {
+    energy_.ensureSmShards(id_ + 1);
 }
 
 void
@@ -342,9 +343,9 @@ StreamingMultiprocessor::schedulePass()
                 if (first_issued < 0)
                     first_issued = wid;
                 reg_reads -= 2;
-                energy_.record(EnergyEvent::SmIssue);
-                energy_.record(EnergyEvent::SmLsuOp);
-                energy_.record(EnergyEvent::SmRegAccess, 2);
+                energy_.record(id_, EnergyEvent::SmIssue);
+                energy_.record(id_, EnergyEvent::SmLsuOp);
+                energy_.record(id_, EnergyEvent::SmRegAccess, 2);
             } else {
                 w.outcome = WarpOutcome::ExcessMem;
                 ++counts.excessMem;
@@ -371,11 +372,11 @@ StreamingMultiprocessor::schedulePass()
                 reg_reads -= 2;
                 if (first_issued < 0)
                     first_issued = wid;
-                energy_.record(EnergyEvent::SmIssue);
-                energy_.record(EnergyEvent::SmSharedAccess,
+                energy_.record(id_, EnergyEvent::SmIssue);
+                energy_.record(id_, EnergyEvent::SmSharedAccess,
                                static_cast<std::uint64_t>(
                                    w.inst.conflictWays));
-                energy_.record(EnergyEvent::SmRegAccess, 2);
+                energy_.record(id_, EnergyEvent::SmRegAccess, 2);
             } else {
                 w.outcome = WarpOutcome::ExcessAlu;
                 ++counts.excessAlu;
@@ -403,14 +404,15 @@ StreamingMultiprocessor::schedulePass()
             if (first_issued < 0)
                 first_issued = wid;
             reg_reads -= 3;
-            energy_.record(EnergyEvent::SmIssue);
+            energy_.record(id_, EnergyEvent::SmIssue);
             // Divergent warps drive only a fraction of the datapath.
-            energy_.recordScaled(w.inst.op == OpClass::Sfu
+            energy_.recordScaled(id_,
+                                 w.inst.op == OpClass::Sfu
                                      ? EnergyEvent::SmSfuOp
                                      : EnergyEvent::SmAluOp,
                                  static_cast<double>(w.inst.activeLanes) /
                                      warpLanes);
-            energy_.record(EnergyEvent::SmRegAccess, 3);
+            energy_.record(id_, EnergyEvent::SmRegAccess, 3);
         } else {
             w.outcome = WarpOutcome::ExcessAlu;
             ++counts.excessAlu;

@@ -38,9 +38,20 @@ geomean(const std::vector<double> &values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
-ExperimentRunner::ExperimentRunner(GpuConfig gpu_cfg, PowerConfig power_cfg)
+ExperimentRunner::ExperimentRunner(GpuConfig gpu_cfg, PowerConfig power_cfg,
+                                   int threads)
     : gpuCfg_(gpu_cfg), powerCfg_(power_cfg)
 {
+    const int n =
+        threads == 0 ? ParallelExecutor::hardwareThreads() : threads;
+    if (n > 1)
+        executor_ = std::make_unique<ParallelExecutor>(n);
+}
+
+int
+ExperimentRunner::threads() const
+{
+    return executor_ ? executor_->threads() : 1;
 }
 
 AppRunResult
@@ -55,6 +66,7 @@ ExperimentRunner::run(const KernelParams &kernel, const PolicySpec &policy,
     }
 
     GpuTop gpu(gpuCfg_, powerCfg_);
+    gpu.setParallelExecutor(executor_.get());
     auto controller = policy.build();
     gpu.setController(controller.get());
     if (instrument)

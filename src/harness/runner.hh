@@ -8,6 +8,7 @@
 #define EQ_HARNESS_RUNNER_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "kernels/kernel_params.hh"
 #include "kernels/synthetic_kernel.hh"
 #include "power/energy_model.hh"
+#include "sim/parallel_executor.hh"
 
 namespace equalizer
 {
@@ -55,8 +57,18 @@ class ExperimentRunner
     /** Invoked after GPU construction, before the first invocation. */
     using Instrument = std::function<void(GpuTop &, GpuController *)>;
 
+    /**
+     * @param threads Worker threads for the per-SM parallel phase:
+     *        0 = hardware concurrency (the default), 1 = the serial
+     *        oracle path. Results are bit-identical either way; the
+     *        knob only trades wall-clock time.
+     */
     explicit ExperimentRunner(GpuConfig gpu_cfg = GpuConfig::gtx480(),
-                              PowerConfig power_cfg = PowerConfig::gtx480());
+                              PowerConfig power_cfg = PowerConfig::gtx480(),
+                              int threads = 0);
+
+    /** Threads the runner will use for the SM phase. */
+    int threads() const;
 
     /**
      * Simulate every invocation of @p kernel under @p policy.
@@ -80,6 +92,7 @@ class ExperimentRunner
   private:
     GpuConfig gpuCfg_;
     PowerConfig powerCfg_;
+    std::unique_ptr<ParallelExecutor> executor_; ///< null = serial path
     std::vector<std::pair<std::string, AppRunResult>> cache_;
 };
 

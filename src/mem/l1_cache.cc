@@ -9,12 +9,13 @@ L1Cache::L1Cache(const MemConfig &cfg, SmId sm,
       mshrs_(cfg.l1MshrEntries, cfg.l1MaxMerges), missQueue_(miss_queue),
       energy_(energy)
 {
+    energy_.ensureSmShards(sm_ + 1);
 }
 
 L1Cache::Result
 L1Cache::access(WarpId warp, Addr line_addr, bool write)
 {
-    energy_.record(EnergyEvent::L1Access);
+    energy_.record(sm_, EnergyEvent::L1Access);
 
     if (write) {
         // Write-through, no-allocate: stores only need room downstream.

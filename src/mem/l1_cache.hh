@@ -73,7 +73,11 @@ class L1Cache
     bool probe(Addr line_addr) const { return tags_.probe(line_addr); }
 
     /** Register a hook observing evictions (used by CCWS). */
-    void setEvictionHook(EvictionHook hook) { evictionHook_ = std::move(hook); }
+    void
+    setEvictionHook(EvictionHook hook)
+    {
+        evictionHook_ = std::move(hook);
+    }
 
     /** Register a hook observing load misses (used by CCWS). */
     void setMissHook(MissHook hook) { missHook_ = std::move(hook); }

@@ -76,7 +76,8 @@ TagArray::insert(Addr line_addr, int owner)
         if (!line.valid) {
             if (!victim || victim->valid)
                 victim = &line;
-        } else if (!victim || (victim->valid && line.lastUse < victim->lastUse)) {
+        } else if (!victim ||
+                   (victim->valid && line.lastUse < victim->lastUse)) {
             victim = &line;
         }
     }

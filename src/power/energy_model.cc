@@ -124,17 +124,20 @@ EnergyModel::staticJoules(
 double
 EnergyModel::dynamicJoules() const
 {
+    // Reduce shards in fixed (event, serial-then-SM) order so the total
+    // is the same double no matter how many threads recorded the events.
     double total = 0.0;
-    for (double j : dynamicJoules_)
-        total += j;
+    for (int i = 0; i < numEnergyEvents; ++i)
+        total += dynamicJoules(static_cast<EnergyEvent>(i));
     return total;
 }
 
 void
 EnergyModel::reset()
 {
-    dynamicJoules_.fill(0.0);
-    eventCounts_.fill(0);
+    serial_ = Shard{};
+    for (auto &s : smShards_)
+        s = Shard{};
 }
 
 } // namespace equalizer

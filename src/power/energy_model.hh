@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "sim/vf.hh"
@@ -116,6 +117,15 @@ const char *energyEventName(EnergyEvent e);
  *
  * The GPU top-level updates the domain states when the frequency manager
  * commits a change; components report events as they happen.
+ *
+ * Accounting is sharded: components that belong to one SM record into
+ * that SM's shard (via the record overloads taking an SM id), while
+ * memory-system components and standalone users record into a shared
+ * serial shard. During the parallel SM phase each shard is written by
+ * exactly one thread, so no synchronization is needed, and every query
+ * reduces the shards in fixed index order — which makes the reported
+ * energy bit-identical for any thread count, including the serial
+ * oracle (see docs/PARALLELISM.md).
  */
 class EnergyModel
 {
@@ -125,15 +135,30 @@ class EnergyModel
     /** Inform the model of the current VF state of both domains. */
     void setDomainStates(VfState sm, VfState mem);
 
+    /**
+     * Guarantee per-SM shards [0, n) exist. Components owned by an SM
+     * call this at construction; must not race with recording.
+     */
+    void
+    ensureSmShards(int n)
+    {
+        if (static_cast<int>(smShards_.size()) < n)
+            smShards_.resize(static_cast<std::size_t>(n));
+    }
+
     /** Deposit @p count events of kind @p e at the current voltage. */
     void
     record(EnergyEvent e, std::uint64_t count = 1)
     {
-        const int i = static_cast<int>(e);
-        dynamicJoules_[i] +=
-            static_cast<double>(count) * cfg_.eventEnergy[i] *
-            (eventDomain(e) == PowerDomain::Sm ? smVsq_ : memVsq_);
-        eventCounts_[i] += count;
+        deposit(serial_, e, static_cast<double>(count), count);
+    }
+
+    /** Deposit events into the shard of SM @p sm. */
+    void
+    record(int sm, EnergyEvent e, std::uint64_t count = 1)
+    {
+        deposit(smShards_[static_cast<std::size_t>(sm)], e,
+                static_cast<double>(count), count);
     }
 
     /**
@@ -144,11 +169,15 @@ class EnergyModel
     void
     recordScaled(EnergyEvent e, double energy_scale)
     {
-        const int i = static_cast<int>(e);
-        dynamicJoules_[i] +=
-            energy_scale * cfg_.eventEnergy[i] *
-            (eventDomain(e) == PowerDomain::Sm ? smVsq_ : memVsq_);
-        eventCounts_[i] += 1;
+        deposit(serial_, e, energy_scale, 1);
+    }
+
+    /** recordScaled into the shard of SM @p sm. */
+    void
+    recordScaled(int sm, EnergyEvent e, double energy_scale)
+    {
+        deposit(smShards_[static_cast<std::size_t>(sm)], e, energy_scale,
+                1);
     }
 
     /**
@@ -172,14 +201,22 @@ class EnergyModel
     double
     dynamicJoules(EnergyEvent e) const
     {
-        return dynamicJoules_[static_cast<int>(e)];
+        const int i = static_cast<int>(e);
+        double total = serial_.joules[i];
+        for (const auto &s : smShards_)
+            total += s.joules[i];
+        return total;
     }
 
     /** Count of recorded events of one kind. */
     std::uint64_t
     eventCount(EnergyEvent e) const
     {
-        return eventCounts_[static_cast<int>(e)];
+        const int i = static_cast<int>(e);
+        std::uint64_t total = serial_.counts[i];
+        for (const auto &s : smShards_)
+            total += s.counts[i];
+        return total;
     }
 
     /** DRAM standby power (watts) at a given memory-domain state. */
@@ -194,11 +231,31 @@ class EnergyModel
     void reset();
 
   private:
+    /**
+     * One accumulator. Cache-line aligned so per-SM shards written
+     * concurrently by different workers never false-share.
+     */
+    struct alignas(64) Shard
+    {
+        std::array<double, numEnergyEvents> joules{};
+        std::array<std::uint64_t, numEnergyEvents> counts{};
+    };
+
+    void
+    deposit(Shard &shard, EnergyEvent e, double scale, std::uint64_t n)
+    {
+        const int i = static_cast<int>(e);
+        shard.joules[i] +=
+            scale * cfg_.eventEnergy[i] *
+            (eventDomain(e) == PowerDomain::Sm ? smVsq_ : memVsq_);
+        shard.counts[i] += n;
+    }
+
     PowerConfig cfg_;
     double smVsq_ = 1.0;
     double memVsq_ = 1.0;
-    std::array<double, numEnergyEvents> dynamicJoules_{};
-    std::array<std::uint64_t, numEnergyEvents> eventCounts_{};
+    Shard serial_;
+    std::vector<Shard> smShards_;
 };
 
 } // namespace equalizer

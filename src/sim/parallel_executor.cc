@@ -1,0 +1,111 @@
+#include "parallel_executor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+int
+ParallelExecutor::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::pair<int, int>
+ParallelExecutor::chunkOf(int w, int threads, int n)
+{
+    // Contiguous static split: worker w owns [w*n/T, (w+1)*n/T). The
+    // partition depends only on (w, threads, n), never on timing.
+    const auto lo = static_cast<int>(
+        static_cast<std::int64_t>(w) * n / threads);
+    const auto hi = static_cast<int>(
+        static_cast<std::int64_t>(w + 1) * n / threads);
+    return {lo, hi};
+}
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : threads_(threads == 0 ? hardwareThreads() : std::max(1, threads))
+{
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ParallelExecutor::runChunk(int worker, int n,
+                           const std::function<void(int)> &fn)
+{
+    const auto [lo, hi] = chunkOf(worker, threads_, n);
+    for (int i = lo; i < hi; ++i)
+        fn(i);
+}
+
+void
+ParallelExecutor::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stop_.load(std::memory_order_relaxed) ||
+                       epoch_.load(std::memory_order_acquire) != seen;
+            });
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            seen = epoch_.load(std::memory_order_acquire);
+        }
+        runChunk(worker, n_, *fn_);
+        remaining_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ParallelExecutor::parallelFor(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (threads_ == 1 || n == 1) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    EQ_ASSERT(remaining_.load(std::memory_order_relaxed) == 0,
+              "parallelFor is not reentrant");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        n_ = n;
+        remaining_.store(threads_ - 1, std::memory_order_relaxed);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_all();
+
+    runChunk(0, n, fn); // the caller is worker 0
+
+    // Epoch barrier: spin briefly (workers usually finish within the
+    // cost of a context switch), then yield so oversubscribed or
+    // single-core hosts make progress instead of burning the quantum.
+    int spins = 0;
+    while (remaining_.load(std::memory_order_acquire) != 0) {
+        if (++spins > 256)
+            std::this_thread::yield();
+    }
+    fn_ = nullptr;
+}
+
+} // namespace equalizer

@@ -249,7 +249,9 @@ TEST(EqualizerEngine, HysteresisDelaysBlockChanges)
                 if (inst.op == OpClass::Mem)
                     for (int t = 0; t < inst.transactionCount; ++t)
                         inst.lineAddrs[static_cast<std::size_t>(t)] +=
-                            (static_cast<Addr>(b) * 64 + static_cast<Addr>(w)) << 24;
+                            (static_cast<Addr>(b) * 64 +
+                             static_cast<Addr>(w))
+                            << 24;
             return s;
         });
     gpu.runKernel(k);
