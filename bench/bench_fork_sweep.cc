@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fork-sweep demonstration: a VF x CTA operating-point sweep over the
+ * tail of a multi-invocation application, run twice — cold (every point
+ * re-simulates the shared warm-up prefix) and warm (the prefix is
+ * simulated once and every point forks the warmed GPU state via
+ * GpuTop::forkFrom). Per-point results are identical by construction
+ * (asserted); the warm sweep only buys wall-clock time.
+ *
+ * Usage:
+ *   bench_fork_sweep [kernel=<name>] [invocations=<n>] [prefix=<n>]
+ *                    [json=<path>]
+ *
+ * invocations=<n> synthesizes an n-invocation schedule from the chosen
+ * roster kernel; prefix=<n> of those are the shared warm-up. The JSON
+ * export carries every point's suffix metrics for both sweeps.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+
+#include "baselines/static_policy.hh"
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "harness/export.hh"
+#include "sim/vf.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+namespace
+{
+
+/** One VF x CTA grid point as a static policy. */
+PolicySpec
+operatingPoint(VfState sm_state, int blocks)
+{
+    const std::string name = std::string("vf-") + vfStateName(sm_state) +
+                             "-blocks-" + std::to_string(blocks);
+    return PolicySpec{name, [name, sm_state, blocks] {
+                          return std::make_unique<StaticPolicy>(
+                              name, sm_state, VfState::Normal, blocks);
+                      }};
+}
+
+double
+wallSeconds(const std::function<void()> &work)
+{
+    const auto start = std::chrono::steady_clock::now();
+    work();
+    const std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start;
+    return d.count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg =
+        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
+                         {"kernel", "invocations", "prefix", "json"});
+    const std::string kernel = cfg.getString("kernel", "sgemm");
+    const int invocations =
+        static_cast<int>(cfg.getInt("invocations", 8));
+    const int prefix = static_cast<int>(cfg.getInt("prefix", 6));
+    const std::string json_path = cfg.getString("json", "");
+
+    KernelParams params = KernelZoo::byName(kernel).params;
+    params.invocations.assign(static_cast<std::size_t>(invocations),
+                              InvocationMod{});
+
+    // A 2x3 VF x CTA grid: six operating points sharing one warm-up.
+    std::vector<PolicySpec> points;
+    for (VfState vf : {VfState::Normal, VfState::High})
+        for (int blocks : {1, 2, params.maxBlocksPerSm})
+            points.push_back(operatingPoint(vf, blocks));
+
+    banner("fork sweep: " + kernel + " x " +
+           std::to_string(points.size()) + " operating points (" +
+           std::to_string(prefix) + "-invocation shared prefix of " +
+           std::to_string(invocations) + ")");
+
+    ExperimentRunner runner = makeRunner();
+    SweepResult cold, warm;
+    progress("cold sweep (prefix re-simulated per point)");
+    const double cold_s = wallSeconds([&] {
+        cold = runner.runColdSweep(params, policies::baseline(), prefix,
+                                   points);
+    });
+    progress("warm sweep (prefix forked via GpuTop::forkFrom)");
+    const double warm_s = wallSeconds([&] {
+        warm = runner.runWarmSweep(params, policies::baseline(), prefix,
+                                   points);
+    });
+
+    // The whole point: forking must not change any result.
+    bool identical = true;
+    TablePrinter t({"operating point", "suffix ms", "IPC", "energy J",
+                    "identical"});
+    MetricsExporter exporter;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &c = cold.points[i];
+        const auto &w = warm.points[i];
+        const bool same =
+            c.total.smCycles == w.total.smCycles &&
+            c.total.instructions == w.total.instructions &&
+            c.total.dynamicJoules == w.total.dynamicJoules &&
+            c.total.staticJoules == w.total.staticJoules;
+        identical = identical && same;
+        exporter.addResult(params.name, "cold-" + c.policy, c.total,
+                           c.invocations);
+        exporter.addResult(params.name, "warm-" + w.policy, w.total,
+                           w.invocations);
+        t.row({c.policy, fmt(w.total.seconds * 1e3, 3),
+               fmt(w.total.ipc(), 3), fmt(w.total.totalJoules(), 5),
+               same ? "yes" : "NO"});
+    }
+    t.print();
+
+    const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+    std::cout << "cold " << fmt(cold_s, 2) << " s, warm "
+              << fmt(warm_s, 2) << " s -> " << fmt(speedup, 2)
+              << "x wall-clock reduction\n";
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        exporter.writeJson(os);
+        progress("wrote " + json_path);
+    }
+
+    if (!identical) {
+        std::cerr << "FAIL: warm sweep diverged from cold sweep\n";
+        return 1;
+    }
+    return 0;
+}

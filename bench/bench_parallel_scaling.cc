@@ -51,7 +51,8 @@ int
 main(int argc, char **argv)
 {
     const Config cfg =
-        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc));
+        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
+                         {"kernel", "sms", "threads", "json"});
     const std::string kernel = cfg.getString("kernel", "kmn");
     const std::string threads_csv = cfg.getString("threads", "1,2,4,8");
     const std::string json_path = cfg.getString("json", "");

@@ -24,7 +24,8 @@ int
 main(int argc, char **argv)
 {
     const Config cfg =
-        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc));
+        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
+                         {"kernels", "json"});
     const auto limit = cfg.getInt("kernels", -1);
     const std::string json_path = cfg.getString("json", "");
 

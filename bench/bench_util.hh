@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "harness/policies.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -29,7 +30,15 @@ inline int
 simThreadsFromEnv()
 {
     const char *v = std::getenv("EQ_THREADS");
-    return v ? std::atoi(v) : 0;
+    if (!v)
+        return 0;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0) {
+        fatal("EQ_THREADS must be a non-negative integer, got '", v,
+              "'");
+    }
+    return static_cast<int>(n);
 }
 
 /** An ExperimentRunner honouring the EQ_THREADS override. */

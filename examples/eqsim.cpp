@@ -18,13 +18,26 @@
  *   epoch=<cycles> hysteresis=<n> sample=<cycles>
  *   threads=<n> (simulation worker threads; 0 = hardware concurrency,
  *                1 = serial; results are identical for any value)
+ *   warm_start=<n> (simulate the first n invocations under the
+ *                baseline policy, fork the warmed GPU state, and run
+ *                the rest under the requested policy; the report then
+ *                covers only the suffix — see docs/SNAPSHOT.md)
+ *   warm_mode=fork|rerun (with warm_start: fork the warmed state via
+ *                checkpointing, or re-simulate the prefix cold; the
+ *                two modes produce byte-identical metrics, which CI
+ *                diffs via json=)
+ *   json=<path> (export the measured metrics as JSON)
  *   list=1 (print the roster and exit)
+ *
+ * Unknown keys are rejected with a "did you mean" suggestion.
  */
 
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "common/config.hh"
+#include "harness/export.hh"
 #include "harness/policies.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -74,7 +87,11 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    const Config cfg = Config::fromArgs(args);
+    const Config cfg = Config::fromArgs(
+        args, {"kernel", "policy", "sms", "issue_width", "lsu_depth",
+               "reg_ports", "sm_mhz", "mem_mhz", "scheduler", "epoch",
+               "hysteresis", "sample", "threads", "warm_start",
+               "warm_mode", "json", "list"});
 
     if (cfg.getBool("list", false)) {
         TablePrinter t({"kernel", "category", "application", "W_cta",
@@ -110,16 +127,51 @@ main(int argc, char **argv)
 
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
     const int threads = static_cast<int>(cfg.getInt("threads", 0));
+    const int warm_start =
+        static_cast<int>(cfg.getInt("warm_start", 0));
+    const std::string warm_mode = cfg.getString("warm_mode", "fork");
+    if (warm_mode != "fork" && warm_mode != "rerun")
+        fatal("warm_mode must be 'fork' or 'rerun', got '", warm_mode,
+              "'");
     ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
     const PolicySpec policy = resolvePolicy(policy_name, cfg);
 
     std::cout << "kernel " << kernel_name << " ("
               << kernelCategoryName(entry.params.category) << "), policy "
               << policy.name << ", " << gcfg.numSms << " SMs, "
-              << runner.threads() << " sim thread(s)\n";
+              << runner.threads() << " sim thread(s)";
+    if (warm_start > 0) {
+        std::cout << ", warm start after " << warm_start
+                  << " baseline invocation(s) (" << warm_mode << ")";
+    }
+    std::cout << '\n';
 
-    const auto r = runner.run(entry.params, policy);
+    AppRunResult r;
+    if (warm_start >= entry.params.invocationCount()) {
+        fatal("warm_start=", warm_start, " leaves no invocations: ",
+              kernel_name, " has ", entry.params.invocationCount());
+    }
+    if (warm_start > 0) {
+        const auto sweep =
+            warm_mode == "fork"
+                ? runner.runWarmSweep(entry.params, policies::baseline(),
+                                      warm_start, {policy})
+                : runner.runColdSweep(entry.params, policies::baseline(),
+                                      warm_start, {policy});
+        r = sweep.points.at(0);
+    } else {
+        r = runner.run(entry.params, policy);
+    }
     const auto &m = r.total;
+
+    if (const std::string json_path = cfg.getString("json", "");
+        !json_path.empty()) {
+        MetricsExporter exporter;
+        exporter.addResult(kernel_name, policy.name, r.total,
+                           r.invocations);
+        std::ofstream os(json_path);
+        exporter.writeJson(os);
+    }
 
     banner("timing");
     TablePrinter timing({"metric", "value"});

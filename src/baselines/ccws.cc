@@ -9,7 +9,7 @@ namespace equalizer
 {
 
 void
-Ccws::onKernelLaunch(GpuTop &gpu)
+Ccws::buildStates(GpuTop &gpu)
 {
     sms_.clear();
     for (int i = 0; i < gpu.numSms(); ++i) {
@@ -21,10 +21,19 @@ Ccws::onKernelLaunch(GpuTop &gpu)
                 std::make_unique<TagArray>(cfg_.vtaSets, cfg_.vtaWays));
         st->score.assign(static_cast<std::size_t>(warps), cfg_.baseScore);
         st->allowed.assign(static_cast<std::size_t>(warps), true);
-        SmState *raw = st.get();
+        sms_.push_back(std::move(st));
+    }
+}
+
+void
+Ccws::installHooks(GpuTop &gpu)
+{
+    for (int i = 0; i < gpu.numSms(); ++i) {
+        auto &sm = gpu.sm(i);
+        SmState *raw = sms_[static_cast<std::size_t>(i)].get();
 
         // Evicted lines are remembered in the owner warp's VTA.
-        sm.l1().setEvictionHook([this, raw](Addr line, int owner) {
+        sm.l1().setEvictionHook([raw](Addr line, int owner) {
             if (owner >= 0 &&
                 owner < static_cast<int>(raw->vta.size())) {
                 raw->vta[static_cast<std::size_t>(owner)]->insert(line,
@@ -49,9 +58,42 @@ Ccws::onKernelLaunch(GpuTop &gpu)
             return warp < static_cast<int>(raw->allowed.size()) &&
                    raw->allowed[static_cast<std::size_t>(warp)];
         });
-
-        sms_.push_back(std::move(st));
     }
+}
+
+void
+Ccws::onKernelLaunch(GpuTop &gpu)
+{
+    buildStates(gpu);
+    installHooks(gpu);
+}
+
+void
+Ccws::visitControllerState(StateVisitor &v, GpuTop &gpu)
+{
+    v.beginSection("ccws", 1);
+    if (!v.saving()) {
+        // Rebuild the per-SM structures to the restored GPU's geometry
+        // (and re-install the hooks, which are never serialized), then
+        // overwrite their contents from the checkpoint.
+        buildStates(gpu);
+        installHooks(gpu);
+    }
+    std::uint64_t lost = lostEvents_.load();
+    v.field(lost);
+    if (!v.saving())
+        lostEvents_.store(lost);
+    const std::uint64_t n = sms_.size();
+    v.expectMatch(n, "ccws per-SM state count");
+    for (auto &st : sms_) {
+        const std::uint64_t warps = st->vta.size();
+        v.expectMatch(warps, "ccws per-warp VTA count");
+        for (auto &vta : st->vta)
+            vta->visitState(v);
+        v.field(st->score);
+        v.field(st->allowed);
+    }
+    v.endSection();
 }
 
 void

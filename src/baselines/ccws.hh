@@ -50,6 +50,7 @@ class Ccws : public GpuController
 
     void onKernelLaunch(GpuTop &gpu) override;
     void onSmCycle(GpuTop &gpu) override;
+    void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 
     /** Lost-locality events detected so far (all SMs). */
     std::uint64_t lostLocalityEvents() const { return lostEvents_; }
@@ -64,6 +65,16 @@ class Ccws : public GpuController
         std::vector<double> score;
         std::vector<bool> allowed;
     };
+
+    /** (Re)size the per-SM scoring state to the GPU's geometry. */
+    void buildStates(GpuTop &gpu);
+
+    /**
+     * Point the L1 eviction/miss hooks and the memory-issue filter of
+     * every SM at our per-SM state. Hooks are never serialized; a
+     * restore rebuilds them here.
+     */
+    void installHooks(GpuTop &gpu);
 
     void recomputeAllowed(SmState &st);
 

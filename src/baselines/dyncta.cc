@@ -12,6 +12,15 @@ DynCta::onKernelLaunch(GpuTop &gpu)
 }
 
 void
+DynCta::visitControllerState(StateVisitor &v, GpuTop &)
+{
+    v.beginSection("dyncta", 1);
+    v.field(windows_);
+    v.field(blockChanges_);
+    v.endSection();
+}
+
+void
 DynCta::onSmCycle(GpuTop &gpu)
 {
     const int n = gpu.numSms();

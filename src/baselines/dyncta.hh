@@ -53,6 +53,7 @@ class DynCta : public GpuController
 
     void onKernelLaunch(GpuTop &gpu) override;
     void onSmCycle(GpuTop &gpu) override;
+    void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 
     std::uint64_t blockChanges() const { return blockChanges_; }
 

@@ -21,6 +21,73 @@ Config::fromArgs(const std::vector<std::string> &args)
     return cfg;
 }
 
+namespace
+{
+
+/** Classic dynamic-programming edit distance (small strings only). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+/** Registered keys close enough to @p key to be plausible typos. */
+std::vector<std::string>
+closeMatches(const std::string &key,
+             const std::vector<std::string> &known_keys)
+{
+    std::vector<std::string> out;
+    for (const auto &k : known_keys) {
+        const bool prefix =
+            k.size() > key.size() && k.compare(0, key.size(), key) == 0;
+        if (prefix || editDistance(key, k) <= 2)
+            out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace
+
+Config
+Config::fromArgs(const std::vector<std::string> &args,
+                 const std::vector<std::string> &known_keys)
+{
+    const Config cfg = fromArgs(args);
+    for (const auto &[key, value] : cfg.entries()) {
+        (void)value;
+        if (std::find(known_keys.begin(), known_keys.end(), key) !=
+            known_keys.end()) {
+            continue;
+        }
+        std::string msg = "unknown option '" + key + "'";
+        const auto close = closeMatches(key, known_keys);
+        if (!close.empty()) {
+            msg += "; did you mean ";
+            for (std::size_t i = 0; i < close.size(); ++i)
+                msg += (i ? ", '" : "'") + close[i] + "'";
+        } else {
+            msg += "; known options:";
+            for (const auto &k : known_keys)
+                msg += " " + k;
+        }
+        fatal(msg);
+    }
+    return cfg;
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {

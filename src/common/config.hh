@@ -28,6 +28,15 @@ class Config
     /** Parse "key=value" tokens; tokens without '=' raise fatal(). */
     static Config fromArgs(const std::vector<std::string> &args);
 
+    /**
+     * Like fromArgs(args), but additionally fatal()s on any key not in
+     * @p known_keys, suggesting the closest registered keys ("did you
+     * mean"). Tools with a fixed option roster use this so a typo like
+     * "kernal=lbm" fails loudly instead of being silently ignored.
+     */
+    static Config fromArgs(const std::vector<std::string> &args,
+                           const std::vector<std::string> &known_keys);
+
     /** Set (or overwrite) an option. */
     void set(const std::string &key, const std::string &value);
 

@@ -13,6 +13,8 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/state.hh"
+
 namespace equalizer
 {
 
@@ -77,6 +79,12 @@ class Rng
     {
         return lo + static_cast<std::int64_t>(
                         below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.field(state_);
     }
 
   private:

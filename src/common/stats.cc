@@ -2,8 +2,25 @@
 
 #include <sstream>
 
+#include "sim/state.hh"
+
 namespace equalizer
 {
+
+void
+Counter::visitState(StateVisitor &v)
+{
+    v.field(value_);
+}
+
+void
+Distribution::visitState(StateVisitor &v)
+{
+    v.field(sum_);
+    v.field(min_);
+    v.field(max_);
+    v.field(count_);
+}
 
 Counter &
 StatRegistry::counter(const std::string &name)
@@ -31,6 +48,23 @@ StatRegistry::resetAll()
         c.reset();
     for (auto &[name, d] : distributions_)
         d.reset();
+}
+
+StatRegistry
+StatRegistry::snapshotAndReset()
+{
+    StatRegistry snap = *this;
+    resetAll();
+    return snap;
+}
+
+void
+StatRegistry::visitState(StateVisitor &v)
+{
+    v.beginSection("stats", 1);
+    v.field(counters_);
+    v.field(distributions_);
+    v.endSection();
 }
 
 std::string

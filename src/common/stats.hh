@@ -18,6 +18,8 @@
 namespace equalizer
 {
 
+class StateVisitor;
+
 /** A monotonically growing scalar statistic. */
 class Counter
 {
@@ -38,9 +40,21 @@ class Counter
         return *this;
     }
 
-    void reset() { value_ = 0; }
+    /** Return to the freshly-constructed state. */
+    void reset() { *this = Counter{}; }
+
+    /** Capture the current value and reset — nothing carries over. */
+    Counter
+    snapshotAndReset()
+    {
+        Counter snap = *this;
+        reset();
+        return snap;
+    }
 
     std::uint64_t value() const { return value_; }
+
+    void visitState(StateVisitor &v);
 
   private:
     std::uint64_t value_ = 0;
@@ -61,19 +75,27 @@ class Distribution
             max_ = v;
     }
 
-    void
-    reset()
+    /**
+     * Return to the freshly-constructed state. The next sample() fully
+     * re-arms min/max, so no pre-reset sample can leak through.
+     */
+    void reset() { *this = Distribution{}; }
+
+    /** Capture the current moments and reset — nothing carries over. */
+    Distribution
+    snapshotAndReset()
     {
-        sum_ = 0;
-        count_ = 0;
-        min_ = 0;
-        max_ = 0;
+        Distribution snap = *this;
+        reset();
+        return snap;
     }
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return min_; }
     double max() const { return max_; }
     std::uint64_t count() const { return count_; }
+
+    void visitState(StateVisitor &v);
 
   private:
     double sum_ = 0;
@@ -101,8 +123,18 @@ class StatRegistry
     /** Reset every registered statistic to zero. */
     void resetAll();
 
+    /**
+     * Capture every registered statistic and reset them all in one
+     * step, so samples accumulated before the cut (e.g. a forked
+     * sweep's shared prefix) cannot leak into the next interval.
+     * Registered names survive the reset.
+     */
+    StatRegistry snapshotAndReset();
+
     /** Render "name value" lines, sorted by name. */
     std::string dump() const;
+
+    void visitState(StateVisitor &v);
 
     const std::map<std::string, Counter> &counters() const
     {

@@ -50,6 +50,30 @@ EqualizerEngine::onKernelLaunch(GpuTop &gpu)
 }
 
 void
+EqualizerEngine::visitControllerState(StateVisitor &v, GpuTop &)
+{
+    v.beginSection("equalizer", 1);
+    v.field(samplers_);
+    v.field(pendingDir_);
+    v.field(pendingCount_);
+    v.field(rememberedTargets_);
+    v.field(lastKernel_);
+    bool has_mgr = freqMgr_ != nullptr;
+    v.field(has_mgr);
+    if (!v.saving()) {
+        // onKernelLaunch sizes the vote vectors; 0 is a placeholder
+        // that visitState immediately overwrites.
+        freqMgr_ = has_mgr ? std::make_unique<FrequencyManager>(0)
+                           : nullptr;
+    }
+    if (freqMgr_)
+        freqMgr_->visitState(v);
+    v.field(epochs_);
+    v.field(blockChanges_);
+    v.endSection();
+}
+
+void
 EqualizerEngine::onSmCycle(GpuTop &gpu)
 {
     const Cycle c = gpu.smDomain().cycle();

@@ -68,6 +68,7 @@ class EqualizerEngine : public GpuController
 
     void onKernelLaunch(GpuTop &gpu) override;
     void onSmCycle(GpuTop &gpu) override;
+    void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 
     /** Install a per-epoch trace sink. */
     void setEpochTrace(std::function<void(const EqualizerEpochRecord &)> f)

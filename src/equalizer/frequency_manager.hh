@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/state.hh"
 #include "sim/vf.hh"
 
 namespace equalizer
@@ -52,6 +53,14 @@ class FrequencyManager
     }
 
     std::uint64_t transitionsRequested() const { return transitions_; }
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.field(smVotes_);
+        v.field(memVotes_);
+        v.field(transitions_);
+    }
 
   private:
     std::vector<int> smVotes_;  ///< per SM: VfState index or -1

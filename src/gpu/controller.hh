@@ -13,6 +13,7 @@ namespace equalizer
 {
 
 class GpuTop;
+class StateVisitor;
 
 /**
  * A hardware runtime policy observing and steering the GPU.
@@ -33,6 +34,13 @@ class GpuController
     virtual void onKernelLaunch(GpuTop &) {}
     virtual void onSmCycle(GpuTop &) {}
     virtual void onKernelComplete(GpuTop &) {}
+
+    /**
+     * Serialize controller-internal state (epoch counters, victim tag
+     * arrays, ...). Stateless controllers keep the default no-op. On
+     * load the controller may re-install its hooks on @p gpu.
+     */
+    virtual void visitControllerState(StateVisitor &, GpuTop &) {}
 };
 
 } // namespace equalizer

@@ -53,6 +53,16 @@ GpuTop::setAllTargetBlocks(int target)
 }
 
 void
+GpuTop::clearPolicyHooks()
+{
+    for (const auto &sm : sms_) {
+        sm->l1().setEvictionHook({});
+        sm->l1().setMissHook({});
+        sm->setMemIssueFilter({});
+    }
+}
+
+void
 GpuTop::distributeBlocks()
 {
     // Breadth-first: one block per SM per sweep, so small grids spread
@@ -109,10 +119,11 @@ GpuTop::takeSnapshot() const
     return s;
 }
 
-RunMetrics
-GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
+void
+GpuTop::beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles)
 {
     currentKernel_ = &kernel;
+    currentKernelName_ = kernel.info().name;
     gwde_.launch(kernel);
     for (const auto &sm : sms_)
         sm->setKernel(&kernel);
@@ -120,11 +131,16 @@ GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
     if (controller_)
         controller_->onKernelLaunch(*this);
 
-    const Snapshot before = takeSnapshot();
-    const Cycle cycle_limit = smDomain_.cycle() + max_sm_cycles;
+    run_.before = takeSnapshot();
+    run_.cycleLimit = smDomain_.cycle() + max_sm_cycles;
+    run_.active = true;
 
     distributeBlocks();
+}
 
+RunMetrics
+GpuTop::finishRun(const KernelLaunch &kernel)
+{
     while (!kernelDone()) {
         if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
             memDomain_.advance();
@@ -141,17 +157,19 @@ GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
             if (observer_)
                 observer_(*this);
 
-            if (smDomain_.cycle() > cycle_limit)
+            if (smDomain_.cycle() > run_.cycleLimit)
                 panic("kernel '", kernel.info().name,
-                      "' exceeded the cycle limit (", max_sm_cycles,
-                      " SM cycles); likely a deadlock");
+                      "' exceeded its cycle limit at SM cycle ",
+                      smDomain_.cycle(), "; likely a deadlock");
         }
     }
 
     if (controller_)
         controller_->onKernelComplete(*this);
 
+    const Snapshot before = run_.before;
     const Snapshot after = takeSnapshot();
+    run_.active = false;
 
     RunMetrics m;
     m.kernel = kernel.info().name;
@@ -204,6 +222,28 @@ GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
     m.dramAccesses = after.dramAccesses - before.dramAccesses;
     m.dramRowHits = after.dramRowHits - before.dramRowHits;
     return m;
+}
+
+RunMetrics
+GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
+{
+    beginRun(kernel, max_sm_cycles);
+    return finishRun(kernel);
+}
+
+RunMetrics
+GpuTop::resumeKernel(const KernelLaunch &kernel)
+{
+    if (!run_.active)
+        fatal("resumeKernel: the restored state is not inside a kernel "
+              "invocation");
+    if (kernel.info().name != currentKernelName_)
+        fatal("resumeKernel: state was saved inside kernel '",
+              currentKernelName_, "', not '", kernel.info().name, "'");
+    currentKernel_ = &kernel;
+    for (const auto &sm : sms_)
+        sm->rebindKernel(&kernel);
+    return finishRun(kernel);
 }
 
 RunMetrics
@@ -314,6 +354,88 @@ GpuTop::runKernelsConcurrent(
     m.outcomeCycles = (after.smCycles - before.smCycles) *
                       static_cast<std::uint64_t>(numSms());
     return m;
+}
+
+void
+GpuTop::visitState(StateVisitor &v, ControllerMismatch on_mismatch)
+{
+    v.beginSection("gpu", 1);
+    v.field(smDomain_);
+    v.field(memDomain_);
+    v.field(energy_);
+    v.field(memSystem_);
+    for (const auto &sm : sms_)
+        v.field(*sm);
+    v.field(gwde_);
+    v.field(run_.active);
+    v.field(run_.before);
+    v.field(run_.cycleLimit);
+    v.field(currentKernelName_);
+    if (!v.saving())
+        currentKernel_ = nullptr; // resumeKernel() re-binds the launch
+
+    // Controller state is tagged with the policy name so a restore can
+    // tell whether the stored state belongs to the live controller.
+    v.beginSection("ctrl", 1);
+    std::string stored = controller_ ? controller_->name() : "";
+    v.field(stored);
+    if (v.saving()) {
+        if (controller_)
+            controller_->visitControllerState(v, *this);
+    } else {
+        const std::string live = controller_ ? controller_->name() : "";
+        if (stored == live) {
+            if (controller_)
+                controller_->visitControllerState(v, *this);
+        } else if (on_mismatch == ControllerMismatch::Fatal) {
+            fatal("checkpoint carries state of controller '", stored,
+                  "' but this instance runs '", live,
+                  "'; use the same policy (or fork, which drops it)");
+        } else {
+            v.skipRemainingSection();
+        }
+    }
+    v.endSection();
+
+    v.endSection();
+}
+
+std::vector<std::uint8_t>
+GpuTop::saveStateBuffer() const
+{
+    // Serialization through the visitor only reads when saving; the
+    // const_cast lets one visitState() serve both directions.
+    auto &self = const_cast<GpuTop &>(*this);
+    BufferStateWriter w(configFingerprint(cfg_, energy_.config()));
+    self.visitState(w, ControllerMismatch::Fatal);
+    return w.take();
+}
+
+void
+GpuTop::loadStateBuffer(const std::vector<std::uint8_t> &buf,
+                        ControllerMismatch on_mismatch)
+{
+    BufferStateReader r(buf, configFingerprint(cfg_, energy_.config()));
+    visitState(r, on_mismatch);
+    r.finish();
+}
+
+void
+GpuTop::saveCheckpoint(const std::string &path) const
+{
+    writeCheckpointFile(path, saveStateBuffer());
+}
+
+void
+GpuTop::loadCheckpoint(const std::string &path)
+{
+    loadStateBuffer(readCheckpointFile(path), ControllerMismatch::Fatal);
+}
+
+void
+GpuTop::forkFrom(const GpuTop &parent)
+{
+    loadStateBuffer(parent.saveStateBuffer(), ControllerMismatch::Drop);
 }
 
 } // namespace equalizer

@@ -7,8 +7,10 @@
 #ifndef EQ_GPU_GPU_TOP_HH
 #define EQ_GPU_GPU_TOP_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -22,12 +24,24 @@
 #include "power/energy_model.hh"
 #include "sim/clock_domain.hh"
 #include "sim/parallel_executor.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
 
 /** Latency of a VF transition once committed (paper: 512 SM cycles). */
 inline constexpr Cycle vrmTransitionSmCycles = 512;
+
+/**
+ * What to do when a checkpoint's controller state does not belong to
+ * the live controller.
+ */
+enum class ControllerMismatch
+{
+    Fatal, ///< refuse the restore (loadCheckpoint: strict)
+    Drop,  ///< discard the stored controller state (forkFrom: points
+           ///< deliberately swap policies at the fork)
+};
 
 /**
  * Top-level GPU model.
@@ -49,6 +63,14 @@ class GpuTop
     {
         controller_ = controller;
     }
+
+    /**
+     * Remove every per-SM hook a policy may have installed (L1
+     * eviction/miss observers, memory-issue filters). Called when a
+     * sweep swaps policies mid-application so a hook-installing
+     * warm-up policy (e.g. CCWS) cannot keep steering the suffix.
+     */
+    void clearPolicyHooks();
 
     /**
      * Install a worker pool for the per-SM parallel phase (non-owning;
@@ -137,6 +159,61 @@ class GpuTop
     /** Uniformly set every SM's target block count. */
     void setAllTargetBlocks(int target);
 
+    // --- Checkpoint / restore / fork (docs/SNAPSHOT.md).
+
+    /**
+     * Serialize or restore the complete architectural state. On load,
+     * @p on_mismatch decides what happens when the stored controller
+     * state belongs to a different policy than the live controller.
+     * Not supported while runKernelsConcurrent() is in flight (its
+     * work-distribution cursors live on its stack).
+     */
+    void visitState(StateVisitor &v, ControllerMismatch on_mismatch);
+
+    /** Serialize the full state into an in-memory checkpoint. */
+    std::vector<std::uint8_t> saveStateBuffer() const;
+
+    /**
+     * Restore from an in-memory checkpoint. The checkpoint must carry
+     * the fingerprint of this instance's configuration; any structural
+     * difference is fatal().
+     */
+    void loadStateBuffer(const std::vector<std::uint8_t> &buf,
+                         ControllerMismatch on_mismatch =
+                             ControllerMismatch::Fatal);
+
+    /** saveStateBuffer() to a file. */
+    void saveCheckpoint(const std::string &path) const;
+
+    /** Strict restore from a file written by saveCheckpoint(). */
+    void loadCheckpoint(const std::string &path);
+
+    /**
+     * Become an exact copy of @p parent (same GpuConfig/PowerConfig
+     * required). Controller state transfers when both sides run the
+     * same policy and is dropped otherwise, so a sweep can fork one
+     * warmed-up prefix into N differently-controlled points.
+     */
+    void forkFrom(const GpuTop &parent);
+
+    /**
+     * Continue a kernel invocation that was mid-flight when the state
+     * was saved. @p kernel must be the same launch (validated by name);
+     * instruction streams are rebuilt by deterministic replay. Returns
+     * the full invocation's metrics, bit-identical to an uninterrupted
+     * runKernel().
+     */
+    RunMetrics resumeKernel(const KernelLaunch &kernel);
+
+    /** True when the (restored) state is inside a kernel invocation. */
+    bool midKernel() const { return run_.active; }
+
+    /** Name of the in-flight (or most recent) launch. */
+    const std::string &currentKernelName() const
+    {
+        return currentKernelName_;
+    }
+
   private:
     struct Snapshot
     {
@@ -156,10 +233,24 @@ class GpuTop
         std::array<Tick, numVfStates> memResidency{};
     };
 
+    /**
+     * Everything runKernel() keeps on its stack between launch and
+     * completion, promoted to a member so a checkpoint taken mid-run
+     * carries it and resumeKernel() can re-enter the loop.
+     */
+    struct RunContext
+    {
+        bool active = false; ///< between beginRun() and run completion
+        Snapshot before;     ///< baseline for the invocation's metrics
+        Cycle cycleLimit = 0;
+    };
+
     Snapshot takeSnapshot() const;
     void distributeBlocks();
     bool kernelDone() const;
     void tickSms(Cycle mem_now);
+    void beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles);
+    RunMetrics finishRun(const KernelLaunch &kernel);
 
     GpuConfig cfg_;
     EnergyModel energy_;
@@ -173,6 +264,10 @@ class GpuTop
     ParallelExecutor *executor_ = nullptr;
     std::function<void(GpuTop &)> observer_;
     const KernelLaunch *currentKernel_ = nullptr;
+
+    /// Serialized identity of currentKernel_ (pointers don't persist).
+    std::string currentKernelName_;
+    RunContext run_;
 };
 
 } // namespace equalizer

@@ -8,6 +8,7 @@
 
 #include "common/types.hh"
 #include "gpu/kernel_launch.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -39,6 +40,15 @@ class GlobalWorkDistributor
 
     int remaining() const { return total_ - next_; }
     int total() const { return total_; }
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.beginSection("gwde", 1);
+        v.field(total_);
+        v.field(next_);
+        v.endSection();
+    }
 
   private:
     int total_ = 0;

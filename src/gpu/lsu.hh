@@ -68,6 +68,18 @@ class LoadStoreUnit
     /** Drop all buffered work (kernel boundary). */
     void reset();
 
+    void
+    visitState(StateVisitor &v)
+    {
+        v.beginSection("lsu", 1);
+        v.field(queue_);
+        v.field(acceptedThisCycle_);
+        v.field(hitWakeups_);
+        v.field(transactions_);
+        v.field(blockedCycles_);
+        v.endSection();
+    }
+
   private:
     struct Entry
     {

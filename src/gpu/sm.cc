@@ -169,6 +169,7 @@ StreamingMultiprocessor::refillInstruction(WarpSlot &w)
 {
     WarpInstruction inst;
     if (w.stream->next(inst)) {
+        ++w.fetched;
         w.inst = inst;
         w.hasInst = true;
         w.nextTransaction = 0;
@@ -485,6 +486,69 @@ StreamingMultiprocessor::resetStats()
     activeCycles_ = 0;
     blocksCompleted_ = 0;
     outcomeTotals_ = WarpStateCounts{};
+}
+
+void
+StreamingMultiprocessor::visitState(StateVisitor &v)
+{
+    v.beginSection("sm", 1);
+    v.expectMatch(id_, "SM id");
+    v.field(warpsPerBlock_);
+    v.field(blockSlots_);
+    v.field(warps_);
+    v.field(blocks_);
+    v.field(warpRetiredCounted_);
+    v.field(targetBlocks_);
+    v.field(assignCounter_);
+    v.field(cycle_);
+    v.field(rrStart_);
+    v.field(greedyWarp_);
+    v.field(smemBusyUntil_);
+    v.field(issued_);
+    v.field(activeCycles_);
+    v.field(blocksCompleted_);
+    v.field(outcomeTotals_);
+    v.field(lastCounts_);
+    v.field(l1_);
+    v.field(lsu_);
+    if (!v.saving())
+        kernel_ = nullptr; // rebindKernel() must follow for mid-kernel
+    v.endSection();
+}
+
+void
+StreamingMultiprocessor::rebindKernel(const KernelLaunch *kernel)
+{
+    EQ_ASSERT(kernel, "rebindKernel needs a kernel");
+    const int wpb = std::max(1, kernel->info().warpsPerBlock);
+    const int by_occupancy = kernel->info().maxBlocksPerSm;
+    const int by_warps = cfg_.maxWarpsPerSm / wpb;
+    const int slots = std::max(
+        1, std::min({by_occupancy, by_warps, cfg_.maxBlocksPerSm}));
+    if (wpb != warpsPerBlock_ || slots != blockSlots_)
+        fatal("checkpoint geometry (", warpsPerBlock_, " warps/block, ",
+              blockSlots_, " block slots) does not match kernel '",
+              kernel->info().name, "' (", wpb, " warps/block, ", slots,
+              " block slots)");
+    kernel_ = kernel;
+
+    // Rebuild in-flight instruction streams. The generators are pure
+    // functions of (kernel, block, warp), so replaying the recorded
+    // number of draws lands each stream exactly where it was saved.
+    for (int wid = 0; wid < static_cast<int>(warps_.size()); ++wid) {
+        auto &w = warps_[static_cast<std::size_t>(wid)];
+        w.stream.reset();
+        if (!w.active || w.streamDone)
+            continue;
+        const int wib = wid - firstWarpOf(w.blockSlot);
+        w.stream = kernel_->makeWarpStream(w.block, wib);
+        WarpInstruction scratch;
+        for (std::uint64_t i = 0; i < w.fetched; ++i) {
+            const bool ok = w.stream->next(scratch);
+            EQ_ASSERT(ok, "stream replay ran dry on SM ", id_, " warp ",
+                      wid);
+        }
+    }
 }
 
 } // namespace equalizer

@@ -115,6 +115,21 @@ class StreamingMultiprocessor
     /** Zero statistic accumulators (not architectural state). */
     void resetStats();
 
+    /**
+     * Serialize all per-SM state except the kernel binding and the
+     * hooks. Warp instruction streams are captured as replay counts;
+     * rebindKernel() reconstructs them after a restore.
+     */
+    void visitState(StateVisitor &v);
+
+    /**
+     * Re-attach a kernel after visitState() restored mid-kernel state:
+     * validates the restored geometry against @p kernel and rebuilds
+     * the instruction stream of every in-flight warp by replaying its
+     * recorded draw count. Unlike setKernel(), nothing is cleared.
+     */
+    void rebindKernel(const KernelLaunch *kernel);
+
     int warpsPerBlock() const { return warpsPerBlock_; }
 
     /** Read-only view of one warp slot (tests and tracing). */

@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "gpu/instruction.hh"
 #include "gpu/kernel_launch.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -52,6 +53,14 @@ struct WarpSlot
     bool atBarrier = false;   ///< parked at a Sync instruction
     bool streamDone = false;  ///< generator exhausted
 
+    /**
+     * Instructions drawn from the stream so far. The stream itself is a
+     * deterministic generator seeded by (kernel, invocation, block,
+     * warp), so this count is all a checkpoint needs: a restore rebuilds
+     * the stream and replays it this many times (Sm::rebindKernel).
+     */
+    std::uint64_t fetched = 0;
+
     /// Outcome of the most recent scheduling pass (sampled by Equalizer).
     WarpOutcome outcome = WarpOutcome::Unaccounted;
 
@@ -79,7 +88,34 @@ struct WarpSlot
         lastResultLatency = 0;
         atBarrier = false;
         streamDone = false;
+        fetched = 0;
         outcome = WarpOutcome::Unaccounted;
+    }
+
+    /**
+     * Serialize everything except the stream pointer, which is
+     * reconstructed from the kernel by replaying `fetched` draws.
+     */
+    void
+    visitState(StateVisitor &v)
+    {
+        v.field(active);
+        v.field(paused);
+        v.field(blockSlot);
+        v.field(block);
+        v.field(hasInst);
+        v.field(inst);
+        v.field(nextTransaction);
+        v.field(pendingLoads);
+        v.field(readyAt);
+        v.field(lastIssueCycle);
+        v.field(lastResultLatency);
+        v.field(atBarrier);
+        v.field(streamDone);
+        v.field(fetched);
+        v.field(outcome);
+        if (!v.saving())
+            stream.reset(); // rebuilt by Sm::rebindKernel()
     }
 };
 

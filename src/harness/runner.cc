@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/log.hh"
 #include "kernels/kernel_zoo.hh"
 
 namespace equalizer
@@ -95,6 +96,107 @@ ExperimentRunner::runByName(const std::string &kernel_name,
                             const Instrument &instrument)
 {
     return run(KernelZoo::byName(kernel_name).params, policy, instrument);
+}
+
+AppRunResult
+ExperimentRunner::runSuffix(GpuTop &gpu, const KernelParams &kernel,
+                            const PolicySpec &policy, int first_inv)
+{
+    // A hook-installing warm-up policy (CCWS) must not keep steering
+    // the suffix; a forked child starts hook-free either way.
+    gpu.clearPolicyHooks();
+    auto controller = policy.build();
+    gpu.setController(controller.get());
+
+    AppRunResult result;
+    result.kernel = kernel.name;
+    result.policy = policy.name;
+    result.total.kernel = kernel.name;
+    for (int inv = first_inv; inv < kernel.invocationCount(); ++inv) {
+        SyntheticKernel launch(kernel, inv);
+        RunMetrics m = gpu.runKernel(launch);
+        ++stats_.counter("sweep.invocations");
+        result.total += m;
+        result.invocations.push_back(std::move(m));
+    }
+    gpu.setController(nullptr);
+    return result;
+}
+
+SweepResult
+ExperimentRunner::runColdSweep(const KernelParams &kernel,
+                               const PolicySpec &prefix_policy,
+                               int prefix_invocations,
+                               const std::vector<PolicySpec> &points)
+{
+    if (prefix_invocations < 0 ||
+        prefix_invocations > kernel.invocationCount()) {
+        fatal("sweep prefix of ", prefix_invocations,
+              " invocations is outside this kernel's schedule of ",
+              kernel.invocationCount());
+    }
+
+    SweepResult result;
+    for (const auto &point : points) {
+        GpuTop gpu(gpuCfg_, powerCfg_);
+        gpu.setParallelExecutor(executor_.get());
+
+        auto warmup = prefix_policy.build();
+        gpu.setController(warmup.get());
+        for (int inv = 0; inv < prefix_invocations; ++inv) {
+            SyntheticKernel launch(kernel, inv);
+            gpu.runKernel(launch);
+            ++stats_.counter("sweep.prefix_invocations");
+        }
+
+        result.points.push_back(
+            runSuffix(gpu, kernel, point, prefix_invocations));
+        ++stats_.counter("sweep.points");
+    }
+    result.stats = stats_.snapshotAndReset();
+    return result;
+}
+
+SweepResult
+ExperimentRunner::runWarmSweep(const KernelParams &kernel,
+                               const PolicySpec &prefix_policy,
+                               int prefix_invocations,
+                               const std::vector<PolicySpec> &points)
+{
+    if (prefix_invocations < 0 ||
+        prefix_invocations > kernel.invocationCount()) {
+        fatal("sweep prefix of ", prefix_invocations,
+              " invocations is outside this kernel's schedule of ",
+              kernel.invocationCount());
+    }
+
+    GpuTop parent(gpuCfg_, powerCfg_);
+    parent.setParallelExecutor(executor_.get());
+    auto warmup = prefix_policy.build();
+    parent.setController(warmup.get());
+    for (int inv = 0; inv < prefix_invocations; ++inv) {
+        SyntheticKernel launch(kernel, inv);
+        parent.runKernel(launch);
+        ++stats_.counter("sweep.prefix_invocations");
+    }
+    parent.setController(nullptr);
+
+    SweepResult result;
+    for (const auto &point : points) {
+        // Fork with no controller installed: the warm-up policy's
+        // internal state is dropped, exactly as a cold point that
+        // builds its controller after the prefix.
+        GpuTop child(gpuCfg_, powerCfg_);
+        child.setParallelExecutor(executor_.get());
+        child.forkFrom(parent);
+        ++stats_.counter("sweep.forks");
+
+        result.points.push_back(
+            runSuffix(child, kernel, point, prefix_invocations));
+        ++stats_.counter("sweep.points");
+    }
+    result.stats = stats_.snapshotAndReset();
+    return result;
 }
 
 } // namespace equalizer

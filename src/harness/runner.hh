@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "gpu/gpu_top.hh"
 #include "harness/policies.hh"
 #include "kernels/kernel_params.hh"
@@ -29,6 +30,18 @@ struct AppRunResult
     std::string policy;
     RunMetrics total;                   ///< summed over invocations
     std::vector<RunMetrics> invocations;
+};
+
+/**
+ * Result of a sweep: one suffix-only AppRunResult per policy point (the
+ * shared warm-up prefix is excluded from every point's metrics, so warm
+ * and cold sweeps are directly comparable), plus the sweep's own
+ * bookkeeping counters.
+ */
+struct SweepResult
+{
+    std::vector<AppRunResult> points;
+    StatRegistry stats; ///< sweep.* counters (forks, invocations, ...)
 };
 
 /** Relative performance: baseline time / variant time (>1 = faster). */
@@ -84,16 +97,49 @@ class ExperimentRunner
                            const PolicySpec &policy,
                            const Instrument &instrument = {});
 
+    /**
+     * Sweep @p points over the tail of @p kernel's invocation schedule.
+     * Every point observes the same history: invocations
+     * [0, prefix_invocations) run under @p prefix_policy, then the
+     * point's own (freshly built) policy runs the rest. Each point's
+     * AppRunResult covers only the suffix.
+     *
+     * The cold sweep re-simulates the prefix for every point.
+     */
+    SweepResult runColdSweep(const KernelParams &kernel,
+                             const PolicySpec &prefix_policy,
+                             int prefix_invocations,
+                             const std::vector<PolicySpec> &points);
+
+    /**
+     * Same contract and bit-identical per-point results as
+     * runColdSweep(), but the prefix is simulated once and each point
+     * forks the warmed GPU state (GpuTop::forkFrom), so an N-point
+     * sweep pays for the prefix once instead of N times.
+     */
+    SweepResult runWarmSweep(const KernelParams &kernel,
+                             const PolicySpec &prefix_policy,
+                             int prefix_invocations,
+                             const std::vector<PolicySpec> &points);
+
     /** Clear the (kernel, policy) result cache. */
     void clearCache() { cache_.clear(); }
 
     const GpuConfig &gpuConfig() const { return gpuCfg_; }
 
   private:
+    /** Suffix of a sweep point: invocations [first_inv, count). */
+    AppRunResult runSuffix(GpuTop &gpu, const KernelParams &kernel,
+                           const PolicySpec &policy, int first_inv);
+
     GpuConfig gpuCfg_;
     PowerConfig powerCfg_;
     std::unique_ptr<ParallelExecutor> executor_; ///< null = serial path
     std::vector<std::pair<std::string, AppRunResult>> cache_;
+
+    /// Sweep bookkeeping; snapshotAndReset() between sweeps keeps the
+    /// counters of one sweep from leaking into the next.
+    StatRegistry stats_;
 };
 
 } // namespace equalizer

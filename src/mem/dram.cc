@@ -107,4 +107,23 @@ DramPartition::tick(Cycle now)
     return completed;
 }
 
+void
+DramPartition::visitState(StateVisitor &v)
+{
+    v.beginSection("dram", 1);
+    v.expectMatch(id_, "DRAM partition id");
+    v.expectMatch(cap_, "DRAM queue capacity");
+    v.field(queue_);
+    v.field(openRow_);
+    v.field(inService_);
+    v.field(busyUntil_);
+    v.field(accesses_);
+    v.field(rowHits_);
+    v.field(queueDelaySum_);
+    v.field(lastActive_);
+    v.field(poweredDown_);
+    v.field(poweredDownCycles_);
+    v.endSection();
+}
+
 } // namespace equalizer

@@ -16,6 +16,7 @@
 #include "mem/mem_access.hh"
 #include "mem/mem_config.hh"
 #include "power/energy_model.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -65,6 +66,8 @@ class DramPartition
         return accesses_ ? static_cast<double>(queueDelaySum_) / accesses_
                          : 0.0;
     }
+
+    void visitState(StateVisitor &v);
 
   private:
     struct Pending

@@ -99,6 +99,24 @@ class L1Cache
 
     int mshrOutstanding() const { return mshrs_.outstanding(); }
 
+    /**
+     * Serialize tags, MSHRs and counters. The eviction/miss hooks are
+     * std::functions owned by whoever installed them (CCWS) and are
+     * reinstalled by that owner after a restore, never serialized.
+     */
+    void
+    visitState(StateVisitor &v)
+    {
+        v.beginSection("l1", 1);
+        v.field(tags_);
+        v.field(mshrs_);
+        v.field(hits_);
+        v.field(misses_);
+        v.field(writes_);
+        v.field(blocked_);
+        v.endSection();
+    }
+
   private:
     SmId sm_;
     TagArray tags_;

@@ -1,5 +1,7 @@
 #include "l2_cache.hh"
 
+#include <algorithm>
+
 namespace equalizer
 {
 
@@ -99,6 +101,29 @@ L2Partition::flush()
 {
     tags_.invalidateAll();
     dirty_.clear();
+}
+
+void
+L2Partition::visitState(StateVisitor &v)
+{
+    v.beginSection("l2", 1);
+    v.field(tags_);
+    v.field(input_);
+    v.field(output_);
+    v.field(dram_);
+    // The dirty set is hash-ordered; write it sorted so the stream is
+    // canonical.
+    std::vector<Addr> addrs(dirty_.begin(), dirty_.end());
+    std::sort(addrs.begin(), addrs.end());
+    v.field(addrs);
+    if (!v.saving()) {
+        dirty_.clear();
+        dirty_.insert(addrs.begin(), addrs.end());
+    }
+    v.field(hits_);
+    v.field(misses_);
+    v.field(writebacks_);
+    v.endSection();
 }
 
 } // namespace equalizer

@@ -59,6 +59,8 @@ class L2Partition
     const DramPartition &dram() const { return dram_; }
     DramPartition &dram() { return dram_; }
 
+    void visitState(StateVisitor &v);
+
   private:
     /** Install a line; performs dirty-writeback accounting on eviction. */
     void installLine(Addr line_addr, bool dirty, Cycle now);

@@ -160,4 +160,26 @@ MemorySystem::meanDramQueueDepth() const
     return samples ? static_cast<double>(dramQueueDepthSum_) / samples : 0.0;
 }
 
+void
+MemorySystem::visitState(StateVisitor &v)
+{
+    v.beginSection("memsys", 1);
+    v.expectMatch(numSms_, "SM count");
+    v.expectMatch(static_cast<int>(partitions_.size()),
+                  "partition count");
+    for (auto &q : injectQueues_)
+        v.field(*q);
+    for (auto &q : texQueues_)
+        v.field(*q);
+    for (auto &p : partitions_)
+        v.field(*p);
+    for (auto &q : responseQueues_)
+        v.field(*q);
+    v.field(rrSm_);
+    v.field(rrPartition_);
+    v.field(dramQueueDepthSum_);
+    v.field(tickCount_);
+    v.endSection();
+}
+
 } // namespace equalizer

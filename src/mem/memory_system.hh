@@ -82,6 +82,8 @@ class MemorySystem
         return *partitions_[static_cast<std::size_t>(i)];
     }
 
+    void visitState(StateVisitor &v);
+
   private:
     int partitionOf(Addr line_addr) const;
 

@@ -6,10 +6,12 @@
 #ifndef EQ_MEM_MSHR_HH
 #define EQ_MEM_MSHR_HH
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -88,6 +90,38 @@ class MshrFile
     int capacity() const { return entries_; }
 
     void clear() { pending_.clear(); }
+
+    /**
+     * Serialize outstanding misses. The hash map is written in sorted
+     * line-address order so the byte stream is canonical regardless of
+     * the map's iteration order.
+     */
+    void
+    visitState(StateVisitor &v)
+    {
+        v.expectMatch(entries_, "MSHR entry count");
+        v.expectMatch(maxMerges_, "MSHR merge limit");
+        std::uint64_t n = pending_.size();
+        v.field(n);
+        if (v.saving()) {
+            std::vector<Addr> addrs;
+            addrs.reserve(pending_.size());
+            for (const auto &[addr, waiters] : pending_)
+                addrs.push_back(addr);
+            std::sort(addrs.begin(), addrs.end());
+            for (Addr addr : addrs) {
+                v.field(addr);
+                v.field(pending_[addr]);
+            }
+        } else {
+            pending_.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Addr addr = 0;
+                v.field(addr);
+                v.field(pending_[addr]);
+            }
+        }
+    }
 
   private:
     int entries_;

@@ -14,6 +14,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -60,6 +61,13 @@ class BoundedQueue
     }
 
     void clear() { items_.clear(); }
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.expectMatch(capacity_, "bounded queue capacity");
+        v.field(items_);
+    }
 
   private:
     std::size_t capacity_;
@@ -123,6 +131,13 @@ class DelayQueue
     }
 
     void clear() { items_.clear(); }
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.expectMatch(capacity_, "delay queue capacity");
+        v.field(items_);
+    }
 
   private:
     struct Entry

@@ -13,6 +13,7 @@
 
 #include "common/types.hh"
 #include "mem/mem_access.hh"
+#include "sim/state.hh"
 
 namespace equalizer
 {
@@ -68,6 +69,16 @@ class TagArray
 
     /** Total lines currently valid. */
     int validCount() const;
+
+    void
+    visitState(StateVisitor &v)
+    {
+        v.expectMatch(sets_, "tag array sets");
+        v.expectMatch(ways_, "tag array ways");
+        v.expectMatch(lineBytes_, "tag array line size");
+        v.field(useClock_);
+        v.field(lines_);
+    }
 
   private:
     struct Line

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/state.hh"
 #include "sim/vf.hh"
 
 namespace equalizer
@@ -230,6 +231,27 @@ class EnergyModel
     /** Zero all accumulated energy and counts. */
     void reset();
 
+    /**
+     * Serialize voltage state and every shard. Shards are cache-line
+     * aligned, so their arrays are written individually rather than as
+     * raw struct bytes (the alignment padding stays out of the stream).
+     */
+    void
+    visitState(StateVisitor &v)
+    {
+        v.beginSection("energy", 1);
+        v.field(smVsq_);
+        v.field(memVsq_);
+        visitShard(v, serial_);
+        std::uint64_t n = smShards_.size();
+        v.field(n);
+        if (!v.saving())
+            smShards_.resize(static_cast<std::size_t>(n));
+        for (auto &s : smShards_)
+            visitShard(v, s);
+        v.endSection();
+    }
+
   private:
     /**
      * One accumulator. Cache-line aligned so per-SM shards written
@@ -240,6 +262,13 @@ class EnergyModel
         std::array<double, numEnergyEvents> joules{};
         std::array<std::uint64_t, numEnergyEvents> counts{};
     };
+
+    static void
+    visitShard(StateVisitor &v, Shard &shard)
+    {
+        v.field(shard.joules);
+        v.field(shard.counts);
+    }
 
     void
     deposit(Shard &shard, EnergyEvent e, double scale, std::uint64_t n)

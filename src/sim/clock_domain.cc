@@ -61,4 +61,19 @@ ClockDomain::resetStats()
     residency_.fill(0);
 }
 
+void
+ClockDomain::visitState(StateVisitor &v)
+{
+    v.beginSection("clk", 1);
+    v.expectMatch(name_, "clock domain name");
+    v.expectMatch(nominalHz_, "clock domain nominal frequency");
+    v.field(state_);
+    v.field(pending_);
+    v.field(now_);
+    v.field(nextEdge_);
+    v.field(cycle_);
+    v.field(residency_);
+    v.endSection();
+}
+
 } // namespace equalizer

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "sim/state.hh"
 #include "sim/vf.hh"
 
 namespace equalizer
@@ -87,6 +88,13 @@ class ClockDomain
 
     /** Reset cycle/residency accounting; keeps frequency state. */
     void resetStats();
+
+    /**
+     * Serialize the dynamic state (current VfState, pending transition,
+     * time, cycle count, residency). Name and nominal frequency are
+     * configuration and only validated, never overwritten.
+     */
+    void visitState(StateVisitor &v);
 
   private:
     static int index(VfState s) { return static_cast<int>(s); }

@@ -123,8 +123,9 @@ TEST(SyntheticKernel, LoadsCreateDownstreamDependency)
                 break;
             found_use = insts[j].dependsOnLoads;
         }
-        if (i + 1 < insts.size() && insts[i + 1].op != OpClass::Mem)
+        if (i + 1 < insts.size() && insts[i + 1].op != OpClass::Mem) {
             EXPECT_TRUE(found_use) << "load at " << i << " never consumed";
+        }
     }
 }
 
@@ -151,12 +152,15 @@ TEST(SyntheticKernel, StreamingAddressesNeverRepeat)
     p.phases[0].storeFraction = 0.0;
     const SyntheticKernel k(p);
     std::set<Addr> seen;
-    for (const auto &inst : drain(*k.makeWarpStream(0, 0)))
-        if (inst.op == OpClass::Mem)
-            for (int t = 0; t < inst.transactionCount; ++t)
-                EXPECT_TRUE(
-                    seen.insert(inst.lineAddrs[static_cast<std::size_t>(t)])
-                        .second);
+    for (const auto &inst : drain(*k.makeWarpStream(0, 0))) {
+        if (inst.op != OpClass::Mem)
+            continue;
+        for (int t = 0; t < inst.transactionCount; ++t) {
+            EXPECT_TRUE(
+                seen.insert(inst.lineAddrs[static_cast<std::size_t>(t)])
+                    .second);
+        }
+    }
 }
 
 TEST(SyntheticKernel, InvocationModifiersApply)

@@ -178,9 +178,11 @@ TEST_F(MemorySystemTest, SustainedOverloadBacksUpInjectQueues)
     for (Cycle i = 0; i < 2000; ++i) {
         for (int s = 0; s < numSms; ++s) {
             auto &q = mem.smInjectQueue(s);
-            while (!q.full())
-                q.push(makeLoad(static_cast<Addr>(seq++) * stride, s,
-                                seq % 32));
+            while (!q.full()) {
+                const int n = seq++;
+                q.push(makeLoad(static_cast<Addr>(n) * stride, s,
+                                (n + 1) % 32));
+            }
         }
         mem.tick(now);
         for (int s = 0; s < numSms; ++s)
