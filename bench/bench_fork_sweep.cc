@@ -9,7 +9,7 @@
  *
  * Usage:
  *   bench_fork_sweep [kernel=<name>] [invocations=<n>] [prefix=<n>]
- *                    [json=<path>]
+ *                    [threads=<n>] [export=<path>]
  *
  * invocations=<n> synthesizes an n-invocation schedule from the chosen
  * roster kernel; prefix=<n> of those are the shared warm-up. The JSON
@@ -17,7 +17,6 @@
  */
 
 #include <chrono>
-#include <fstream>
 #include <functional>
 
 #include "baselines/static_policy.hh"
@@ -59,14 +58,22 @@ wallSeconds(const std::function<void()> &work)
 int
 main(int argc, char **argv)
 {
-    const Config cfg =
-        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
-                         {"kernel", "invocations", "prefix", "json"});
+    const Config cfg = Config::fromArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        std::vector<Knob>{
+            {"kernel", "roster kernel to sweep", {}},
+            {"invocations", "synthesized invocation count", {}},
+            {"prefix", "shared warm-up invocations", {}},
+            {"threads", "worker threads (default: EQ_THREADS or "
+                        "hardware)", {}},
+            {"export", "write per-point metrics (.csv/.json)",
+             {"json"}},
+        });
     const std::string kernel = cfg.getString("kernel", "sgemm");
     const int invocations =
         static_cast<int>(cfg.getInt("invocations", 8));
     const int prefix = static_cast<int>(cfg.getInt("prefix", 6));
-    const std::string json_path = cfg.getString("json", "");
+    const std::string json_path = cfg.getString("export", "");
 
     KernelParams params = KernelZoo::byName(kernel).params;
     params.invocations.assign(static_cast<std::size_t>(invocations),
@@ -83,7 +90,9 @@ main(int argc, char **argv)
            std::to_string(prefix) + "-invocation shared prefix of " +
            std::to_string(invocations) + ")");
 
-    ExperimentRunner runner = makeRunner();
+    ExperimentRunner runner = makeRunner(
+        GpuConfig::gtx480(),
+        static_cast<int>(cfg.getInt("threads", -1)));
     SweepResult cold, warm;
     progress("cold sweep (prefix re-simulated per point)");
     const double cold_s = wallSeconds([&] {
@@ -100,7 +109,11 @@ main(int argc, char **argv)
     bool identical = true;
     TablePrinter t({"operating point", "suffix ms", "IPC", "energy J",
                     "identical"});
-    MetricsExporter exporter;
+    ExportSink sink = ExportSink::metricsTable();
+    sink.meta("bench", ExportCell::str("fork_sweep"));
+    sink.meta("kernel", ExportCell::str(kernel));
+    sink.meta("invocations", ExportCell::integer(invocations));
+    sink.meta("prefix", ExportCell::integer(prefix));
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto &c = cold.points[i];
         const auto &w = warm.points[i];
@@ -110,10 +123,10 @@ main(int argc, char **argv)
             c.total.dynamicJoules == w.total.dynamicJoules &&
             c.total.staticJoules == w.total.staticJoules;
         identical = identical && same;
-        exporter.addResult(params.name, "cold-" + c.policy, c.total,
-                           c.invocations);
-        exporter.addResult(params.name, "warm-" + w.policy, w.total,
-                           w.invocations);
+        sink.addResult(params.name, "cold-" + c.policy, c.total,
+                       c.invocations);
+        sink.addResult(params.name, "warm-" + w.policy, w.total,
+                       w.invocations);
         t.row({c.policy, fmt(w.total.seconds * 1e3, 3),
                fmt(w.total.ipc(), 3), fmt(w.total.totalJoules(), 5),
                same ? "yes" : "NO"});
@@ -126,8 +139,8 @@ main(int argc, char **argv)
               << "x wall-clock reduction\n";
 
     if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        exporter.writeJson(os);
+        sink.writeFile(json_path, exportFormatForPath(
+                                      json_path, ExportFormat::Json));
         progress("wrote " + json_path);
     }
 

@@ -10,15 +10,19 @@
  *
  * Usage:
  *   bench_parallel_scaling [kernel=<name>] [sms=<n>] [threads=a,b,c]
- *                          [json=<path>]
+ *                          [export=<path>] [trace=0|1]
+ *   trace=1 re-runs each row with an attached tracer draining into a
+ *   null sink and reports the tracing overhead (acceptance: <2%).
  */
 
 #include <chrono>
-#include <fstream>
 #include <sstream>
 
 #include "bench_util.hh"
 #include "common/config.hh"
+#include "harness/export.hh"
+#include "trace/sink.hh"
+#include "trace/tracer.hh"
 
 using namespace equalizer;
 using namespace equalizer::bench;
@@ -37,25 +41,25 @@ parseThreadList(const std::string &csv)
     return out;
 }
 
-struct ScalingRow
-{
-    int threads;
-    double seconds;
-    Cycle smCycles;
-    double cyclesPerSec;
-};
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Config cfg =
-        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
-                         {"kernel", "sms", "threads", "json"});
+    const Config cfg = Config::fromArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        std::vector<Knob>{
+            {"kernel", "roster kernel to run", {}},
+            {"sms", "number of SMs", {}},
+            {"threads", "comma-separated worker-thread counts", {}},
+            {"export", "write the scaling table (.csv/.json)",
+             {"json"}},
+            {"trace", "also measure tracing overhead per row", {}},
+        });
     const std::string kernel = cfg.getString("kernel", "kmn");
     const std::string threads_csv = cfg.getString("threads", "1,2,4,8");
-    const std::string json_path = cfg.getString("json", "");
+    const std::string json_path = cfg.getString("export", "");
+    const bool measure_trace = cfg.getBool("trace", false);
 
     GpuConfig gcfg = GpuConfig::gtx480();
     gcfg.numSms = static_cast<int>(cfg.getInt("sms", gcfg.numSms));
@@ -66,9 +70,26 @@ main(int argc, char **argv)
            std::to_string(gcfg.numSms) + " SMs (hardware threads: " +
            std::to_string(ParallelExecutor::hardwareThreads()) + ")");
 
-    std::vector<ScalingRow> rows;
-    TablePrinter t({"threads", "wall s", "sm cycles", "cycles/s",
-                    "speedup"});
+    std::vector<std::string> columns = {"threads", "wall_seconds",
+                                        "sm_cycles", "cycles_per_sec"};
+    std::vector<std::string> headers = {"threads", "wall s",
+                                        "sm cycles", "cycles/s",
+                                        "speedup"};
+    if (measure_trace) {
+        columns.insert(columns.end(),
+                       {"traced_wall_seconds", "trace_events",
+                        "trace_overhead_pct"});
+        headers.insert(headers.end(),
+                       {"traced s", "events", "overhead"});
+    }
+    ExportSink sink(columns);
+    sink.meta("bench", ExportCell::str("parallel_scaling"));
+    sink.meta("kernel", ExportCell::str(kernel));
+    sink.meta("sms", ExportCell::integer(gcfg.numSms));
+    sink.meta("hardware_threads",
+              ExportCell::integer(ParallelExecutor::hardwareThreads()));
+
+    TablePrinter t(headers);
     double base_cps = 0.0;
     for (int threads : parseThreadList(threads_csv)) {
         progress("scaling threads=" + std::to_string(threads));
@@ -79,43 +100,58 @@ main(int argc, char **argv)
         const std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - start;
 
-        ScalingRow row;
-        row.threads = runner.threads();
-        row.seconds = wall.count();
-        row.smCycles = r.total.smCycles;
-        row.cyclesPerSec = row.seconds > 0.0
-                               ? static_cast<double>(row.smCycles) /
-                                     row.seconds
-                               : 0.0;
+        const double seconds = wall.count();
+        const double cps =
+            seconds > 0.0
+                ? static_cast<double>(r.total.smCycles) / seconds
+                : 0.0;
         if (base_cps == 0.0)
-            base_cps = row.cyclesPerSec;
-        rows.push_back(row);
+            base_cps = cps;
 
-        t.row({std::to_string(row.threads), fmt(row.seconds, 3),
-               std::to_string(row.smCycles), fmt(row.cyclesPerSec, 0),
-               fmt(base_cps > 0.0 ? row.cyclesPerSec / base_cps : 0.0,
-                   2) +
-                   "x"});
+        std::vector<ExportCell> cells = {
+            ExportCell::integer(runner.threads()),
+            ExportCell::num(seconds),
+            ExportCell::integer(
+                static_cast<std::int64_t>(r.total.smCycles)),
+            ExportCell::num(cps)};
+        std::vector<std::string> row = {
+            std::to_string(runner.threads()), fmt(seconds, 3),
+            std::to_string(r.total.smCycles), fmt(cps, 0),
+            fmt(base_cps > 0.0 ? cps / base_cps : 0.0, 2) + "x"};
+
+        if (measure_trace) {
+            NullTraceSink null_sink;
+            Tracer tracer(TraceConfig{}, null_sink);
+            runner.setTracer(&tracer);
+            const auto tstart = std::chrono::steady_clock::now();
+            runner.run(entry.params, policies::baseline());
+            const std::chrono::duration<double> twall =
+                std::chrono::steady_clock::now() - tstart;
+            runner.setTracer(nullptr);
+            tracer.finish();
+
+            const double traced = twall.count();
+            const double overhead =
+                seconds > 0.0 ? (traced - seconds) / seconds * 100.0
+                              : 0.0;
+            cells.insert(cells.end(),
+                         {ExportCell::num(traced),
+                          ExportCell::integer(static_cast<std::int64_t>(
+                              tracer.eventsRecorded())),
+                          ExportCell::num(overhead)});
+            row.insert(row.end(),
+                       {fmt(traced, 3),
+                        std::to_string(tracer.eventsRecorded()),
+                        fmt(overhead, 1) + "%"});
+        }
+        sink.row(cells);
+        t.row(row);
     }
     t.print();
 
     if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        os << "{\n  \"bench\": \"parallel_scaling\",\n"
-           << "  \"kernel\": \"" << kernel << "\",\n"
-           << "  \"sms\": " << gcfg.numSms << ",\n"
-           << "  \"hardware_threads\": "
-           << ParallelExecutor::hardwareThreads() << ",\n"
-           << "  \"rows\": [\n";
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            const auto &r = rows[i];
-            os << "    {\"threads\": " << r.threads
-               << ", \"wall_seconds\": " << r.seconds
-               << ", \"sm_cycles\": " << r.smCycles
-               << ", \"cycles_per_sec\": " << r.cyclesPerSec << "}"
-               << (i + 1 < rows.size() ? "," : "") << "\n";
-        }
-        os << "  ]\n}\n";
+        sink.writeFile(json_path, exportFormatForPath(
+                                      json_path, ExportFormat::Json));
         progress("wrote " + json_path);
     }
     return 0;

@@ -4,14 +4,13 @@
  * characteristics alongside the paper's structural parameters.
  *
  * Usage:
- *   bench_table2_roster [kernels=<n>] [json=<path>]
+ *   bench_table2_roster [kernels=<n>] [threads=<n>] [export=<path>]
  *
  * kernels=<n> truncates the roster to its first n entries (the CI smoke
- * job uses this as a reduced budget); json=<path> additionally exports
- * every measured row through MetricsExporter for the workflow artifact.
+ * job uses this as a reduced budget); export=<path> additionally
+ * exports every measured row through an ExportSink for the workflow
+ * artifact (format inferred from the path suffix, JSON by default).
  */
-
-#include <fstream>
 
 #include "bench_util.hh"
 #include "common/config.hh"
@@ -23,14 +22,23 @@ using namespace equalizer::bench;
 int
 main(int argc, char **argv)
 {
-    const Config cfg =
-        Config::fromArgs(std::vector<std::string>(argv + 1, argv + argc),
-                         {"kernels", "json"});
+    const Config cfg = Config::fromArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        std::vector<Knob>{
+            {"kernels", "truncate the roster to its first n entries",
+             {}},
+            {"threads", "worker threads (default: EQ_THREADS or "
+                        "hardware)", {}},
+            {"export", "write measured rows (.csv/.json)", {"json"}},
+        });
     const auto limit = cfg.getInt("kernels", -1);
-    const std::string json_path = cfg.getString("json", "");
+    const std::string json_path = cfg.getString("export", "");
 
-    ExperimentRunner runner = makeRunner();
-    MetricsExporter exporter;
+    ExperimentRunner runner = makeRunner(
+        GpuConfig::gtx480(),
+        static_cast<int>(cfg.getInt("threads", -1)));
+    ExportSink sink = ExportSink::metricsTable();
+    sink.meta("bench", ExportCell::str("table2_roster"));
 
     banner("Table II: kernel roster (paper structure + measured "
            "baseline behaviour)");
@@ -45,7 +53,7 @@ main(int argc, char **argv)
         progress("table2 " + name);
         const auto &entry = KernelZoo::byName(name);
         const auto r = runner.run(entry.params, policies::baseline());
-        exporter.addResult(name, "baseline", r.total, r.invocations);
+        sink.addResult(name, "baseline", r.total, r.invocations);
         const double cycles = static_cast<double>(r.total.outcomeCycles);
         t.row({entry.application, name,
                kernelCategoryName(entry.params.category),
@@ -61,8 +69,8 @@ main(int argc, char **argv)
     t.print();
 
     if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        exporter.writeJson(os);
+        sink.writeFile(json_path, exportFormatForPath(
+                                      json_path, ExportFormat::Json));
         progress("wrote " + json_path);
     }
 

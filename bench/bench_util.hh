@@ -23,8 +23,9 @@ namespace equalizer::bench
 
 /**
  * Simulation worker threads for benches: the EQ_THREADS environment
- * variable when set (CI pins it), otherwise 0 = hardware concurrency.
- * Results are identical for any value; only wall-clock time changes.
+ * variable when set (a deprecated alias of the threads= knob),
+ * otherwise 0 = hardware concurrency. Results are identical for any
+ * value; only wall-clock time changes.
  */
 inline int
 simThreadsFromEnv()
@@ -38,15 +39,20 @@ simThreadsFromEnv()
         fatal("EQ_THREADS must be a non-negative integer, got '", v,
               "'");
     }
+    warn("EQ_THREADS is deprecated; pass threads=", n, " instead");
     return static_cast<int>(n);
 }
 
-/** An ExperimentRunner honouring the EQ_THREADS override. */
+/**
+ * An ExperimentRunner honouring the thread override: the threads=
+ * knob when given (>= 0), else the EQ_THREADS environment variable.
+ */
 inline ExperimentRunner
-makeRunner(GpuConfig cfg = GpuConfig::gtx480())
+makeRunner(GpuConfig cfg = GpuConfig::gtx480(), int threads = -1)
 {
     return ExperimentRunner(cfg, PowerConfig::gtx480(),
-                            simThreadsFromEnv());
+                            threads >= 0 ? threads
+                                         : simThreadsFromEnv());
 }
 
 /** Categories in the paper's figure order. */

@@ -25,15 +25,21 @@
  *   warm_mode=fork|rerun (with warm_start: fork the warmed state via
  *                checkpointing, or re-simulate the prefix cold; the
  *                two modes produce byte-identical metrics, which CI
- *                diffs via json=)
- *   json=<path> (export the measured metrics as JSON)
- *   list=1 (print the roster and exit)
+ *                diffs via export=)
+ *   export=<path> (export the measured metrics; format inferred from
+ *                the suffix: .csv, .json, .trace.json)
+ *   trace=<path> (record an epoch-level execution trace; a .json path
+ *                gets Chrome trace_event output for Perfetto, any
+ *                other suffix the binary format — docs/TRACING.md)
+ *   trace_buf_kb=<n> trace_epoch=<cycles> (tracing tunables)
+ *   list=1 (print the roster, the knob registry and exit)
  *
- * Unknown keys are rejected with a "did you mean" suggestion.
+ * Unknown keys are rejected with a "did you mean" suggestion;
+ * deprecated spellings (hyphens, json=) parse with a warning.
  */
 
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "common/config.hh"
@@ -42,6 +48,8 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "kernels/kernel_zoo.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/trace_reader.hh"
 
 using namespace equalizer;
 
@@ -81,17 +89,47 @@ resolvePolicy(const std::string &name, const Config &cfg)
     fatal("unknown policy '", name, "'");
 }
 
+/** The documented knob registry (printed by list=1). */
+const std::vector<Knob> &
+knobs()
+{
+    static const std::vector<Knob> k = {
+        {"kernel", "roster kernel to run", {}},
+        {"policy", "controller policy (baseline, equalizer-perf, ...)",
+         {}},
+        {"sms", "number of SMs", {}},
+        {"issue_width", "instructions issued per SM cycle", {}},
+        {"lsu_depth", "LSU queue depth", {}},
+        {"reg_ports", "register file read ports", {}},
+        {"sm_mhz", "nominal SM clock in MHz", {}},
+        {"mem_mhz", "nominal memory clock in MHz", {}},
+        {"scheduler", "warp scheduler: lrr or gto", {}},
+        {"epoch", "Equalizer decision epoch in cycles", {}},
+        {"hysteresis", "Equalizer hysteresis threshold", {}},
+        {"sample", "warp-state sample interval in cycles", {}},
+        {"threads", "simulation worker threads (0 = hardware)", {}},
+        {"warm_start", "baseline invocations to warm up before the "
+                       "requested policy", {}},
+        {"warm_mode", "warm-up handoff: fork or rerun", {}},
+        {"export", "write measured metrics (.csv/.json/.trace.json)",
+         {"json"}},
+        {"trace", "record an execution trace (.json = Chrome "
+                  "trace_event, else binary)", {}},
+        {"trace_buf_kb", "per-SM trace ring capacity in KiB", {}},
+        {"trace_epoch", "trace drain interval in cycles (power of 2)",
+         {}},
+        {"list", "print the roster and knob registry, then exit", {}},
+    };
+    return k;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    const Config cfg = Config::fromArgs(
-        args, {"kernel", "policy", "sms", "issue_width", "lsu_depth",
-               "reg_ports", "sm_mhz", "mem_mhz", "scheduler", "epoch",
-               "hysteresis", "sample", "threads", "warm_start",
-               "warm_mode", "json", "list"});
+    const Config cfg = Config::fromArgs(args, knobs());
 
     if (cfg.getBool("list", false)) {
         TablePrinter t({"kernel", "category", "application", "W_cta",
@@ -104,6 +142,7 @@ main(int argc, char **argv)
                    std::to_string(e.params.totalBlocks),
                    std::to_string(e.params.invocationCount())});
         t.print();
+        std::cout << "\nknobs:\n" << Config::knobUsage(knobs());
         return 0;
     }
 
@@ -136,6 +175,29 @@ main(int argc, char **argv)
     ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
     const PolicySpec policy = resolvePolicy(policy_name, cfg);
 
+    // trace=: a .json path records in memory and converts to Chrome
+    // trace_event JSON at the end; anything else streams the binary
+    // format directly to disk.
+    const std::string trace_path = cfg.getString("trace", "");
+    TraceConfig tcfg;
+    tcfg.bufKb =
+        static_cast<std::size_t>(cfg.getInt("trace_buf_kb", 64));
+    tcfg.epochCycles =
+        static_cast<Cycle>(cfg.getInt("trace_epoch", 4096));
+    std::unique_ptr<MemoryTraceSink> trace_mem;
+    std::unique_ptr<FileTraceSink> trace_file;
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_path.empty()) {
+        if (chromeTracePath(trace_path)) {
+            trace_mem = std::make_unique<MemoryTraceSink>();
+            tracer = std::make_unique<Tracer>(tcfg, *trace_mem);
+        } else {
+            trace_file = std::make_unique<FileTraceSink>(trace_path);
+            tracer = std::make_unique<Tracer>(tcfg, *trace_file);
+        }
+        runner.setTracer(tracer.get());
+    }
+
     std::cout << "kernel " << kernel_name << " ("
               << kernelCategoryName(entry.params.category) << "), policy "
               << policy.name << ", " << gcfg.numSms << " SMs, "
@@ -164,13 +226,31 @@ main(int argc, char **argv)
     }
     const auto &m = r.total;
 
-    if (const std::string json_path = cfg.getString("json", "");
-        !json_path.empty()) {
-        MetricsExporter exporter;
-        exporter.addResult(kernel_name, policy.name, r.total,
-                           r.invocations);
-        std::ofstream os(json_path);
-        exporter.writeJson(os);
+    if (tracer) {
+        tracer->finish();
+        if (trace_mem) {
+            writeChromeTraceFile(
+                TraceReader::fromBytes(trace_mem->serialize()),
+                trace_path);
+        }
+        std::cout << "trace: " << tracer->eventsRecorded()
+                  << " events -> " << trace_path;
+        if (tracer->eventsDropped() > 0)
+            std::cout << " (" << tracer->eventsDropped()
+                      << " dropped; raise trace_buf_kb)";
+        std::cout << '\n';
+    }
+
+    if (const std::string export_path = cfg.getString("export", "");
+        !export_path.empty()) {
+        ExportSink sink = ExportSink::metricsTable();
+        sink.meta("kernel", ExportCell::str(kernel_name));
+        sink.meta("policy", ExportCell::str(policy.name));
+        sink.addResult(kernel_name, policy.name, r.total,
+                       r.invocations);
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
     }
 
     banner("timing");

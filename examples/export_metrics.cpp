@@ -1,11 +1,15 @@
 /**
  * @file
  * Batch measurement export: run one or more kernels under a set of
- * policies and emit machine-readable CSV/JSON for external plotting
- * (e.g. regenerating the paper's figures with matplotlib).
+ * policies and emit machine-readable CSV/JSON/trace-event output for
+ * external plotting (e.g. regenerating the paper's figures with
+ * matplotlib, or loading a sweep into Perfetto).
  *
- * Usage: export_metrics [kernel=<name>|all] [format=csv|json]
- *                       [out=<path>]
+ * Usage: export_metrics [kernel=<name>|all]
+ *                       [format=csv|json|trace-event] [out=<path>]
+ *
+ * When out= is given and format= is not, the format is inferred from
+ * the path suffix (.csv, .json, .trace.json).
  */
 
 #include <fstream>
@@ -26,8 +30,14 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     const Config cfg = Config::fromArgs(args);
     const std::string which = cfg.getString("kernel", "kmn");
-    const std::string format = cfg.getString("format", "csv");
+    const std::string format_name = cfg.getString("format", "");
     const std::string out_path = cfg.getString("out", "");
+
+    ExportFormat format = ExportFormat::Csv;
+    if (!format_name.empty())
+        format = exportFormatFromName(format_name);
+    else if (!out_path.empty())
+        format = exportFormatForPath(out_path, ExportFormat::Csv);
 
     std::vector<std::string> kernels;
     if (which == "all")
@@ -44,31 +54,25 @@ main(int argc, char **argv)
     };
 
     ExperimentRunner runner;
-    MetricsExporter exporter;
+    ExportSink sink = ExportSink::metricsTable();
+    sink.meta("kernel", ExportCell::str(which));
     for (const auto &name : kernels) {
         const auto &entry = KernelZoo::byName(name);
         for (const auto &policy : policies) {
             std::cerr << "[export] " << name << " / " << policy.name
                       << '\n';
             const auto r = runner.run(entry.params, policy);
-            exporter.addResult(name, policy.name, r.total, r.invocations);
+            sink.addResult(name, policy.name, r.total, r.invocations);
         }
     }
 
-    std::ofstream file;
-    std::ostream *os = &std::cout;
     if (!out_path.empty()) {
-        file.open(out_path);
-        if (!file)
-            fatal("cannot open '", out_path, "' for writing");
-        os = &file;
+        sink.writeFile(out_path, format);
+        std::cerr << "[export] wrote " << sink.rowCount() << " rows to "
+                  << out_path << " (" << exportFormatName(format)
+                  << ")\n";
+    } else {
+        sink.write(std::cout, format);
     }
-    if (format == "json")
-        exporter.writeJson(*os);
-    else
-        exporter.writeCsv(*os);
-    if (!out_path.empty())
-        std::cerr << "[export] wrote " << exporter.size() << " rows to "
-                  << out_path << '\n';
     return 0;
 }

@@ -5,31 +5,107 @@
  * observability view of the runtime.
  *
  * Usage: policy_trace [kernel=<name>] [mode=perf|energy] [blocks=<n>]
+ *                     [replay=<trace> [sm=<n>]]
  *   blocks=<n> runs a statically fixed block count instead (with the
  *   passive monitor), which is handy for calibration.
+ *   replay=<trace> prints the same decision table from a recorded
+ *   binary trace (eqsim trace=...) instead of running a simulation;
+ *   sm=<n> selects the SM to replay (default 0).
  */
 
 #include <iostream>
 #include <vector>
 
 #include "common/config.hh"
+#include "equalizer/decision.hh"
 #include "equalizer/monitor.hh"
 #include "harness/policies.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "kernels/kernel_zoo.hh"
+#include "trace/trace_reader.hh"
 
 using namespace equalizer;
+
+namespace
+{
+
+/**
+ * Offline replay: reconstruct the per-epoch decision table of one SM
+ * from a recorded trace, plus the device-level VF step log.
+ */
+int
+replayTrace(const std::string &path, int sm)
+{
+    const TraceReader trace = TraceReader::fromFile(path);
+    if (sm < 0 || sm >= static_cast<int>(trace.header().numSms))
+        fatal("trace has ", trace.header().numSms, " SMs; sm=", sm,
+              " is out of range");
+
+    TablePrinter table({"cycle", "active", "waiting", "x_alu", "x_mem",
+                        "tendency", "blocks"});
+    TraceEvent sample;
+    bool have_sample = false;
+    for (const auto &e : trace.smEvents(sm)) {
+        if (e.kind == TraceEventKind::EpochSample) {
+            sample = e;
+            have_sample = true;
+        } else if (e.kind == TraceEventKind::Tendency) {
+            table.row({std::to_string(e.cycle),
+                       have_sample ? fmt(sample.p.d[0], 1) : "-",
+                       have_sample ? fmt(sample.p.d[1], 1) : "-",
+                       have_sample ? fmt(sample.p.d[2], 1) : "-",
+                       have_sample ? fmt(sample.p.d[3], 1) : "-",
+                       tendencyName(static_cast<Tendency>(e.p.i[0])),
+                       std::to_string(e.p.i[2])});
+            have_sample = false;
+        }
+    }
+    table.print();
+
+    for (const auto &e : trace.deviceEvents()) {
+        if (e.kind != TraceEventKind::VfStep)
+            continue;
+        std::cout << "cycle " << e.cycle << ": "
+                  << (e.p.i[0] == 0 ? "sm" : "mem") << " clock "
+                  << vfStateName(static_cast<VfState>(e.p.i[1]))
+                  << " -> "
+                  << vfStateName(static_cast<VfState>(e.p.i[2]))
+                  << '\n';
+    }
+
+    std::cout << "replayed " << trace.events().size() << " events ("
+              << trace.segments() << " segment(s), "
+              << trace.header().numSms << " SMs) from " << path << '\n';
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    const Config cfg = Config::fromArgs(args);
+    const Config cfg = Config::fromArgs(
+        args, std::vector<Knob>{
+                  {"kernel", "roster kernel to run", {}},
+                  {"mode", "equalizer mode: perf or energy", {}},
+                  {"blocks", "static block count (passive monitor)",
+                   {}},
+                  {"replay", "binary trace to replay instead of "
+                             "simulating", {}},
+                  {"sm", "SM index to replay (with replay=)", {}},
+              });
     const std::string kernel_name = cfg.getString("kernel", "kmn");
     const std::string mode_name = cfg.getString("mode", "perf");
     const int static_blocks =
         static_cast<int>(cfg.getInt("blocks", -1));
+
+    if (const std::string replay = cfg.getString("replay", "");
+        !replay.empty()) {
+        return replayTrace(replay,
+                           static_cast<int>(cfg.getInt("sm", 0)));
+    }
 
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
     ExperimentRunner runner;

@@ -138,6 +138,17 @@ Ccws::onSmCycle(GpuTop &gpu)
             s = std::max(cfg_.baseScore, s - decay);
         recomputeAllowed(st);
     }
+
+    // Live metrics: how hard CCWS is throttling, device-wide.
+    if (Tracer *tracer = gpu.tracer()) {
+        int allowed = 0;
+        for (int i = 0; i < gpu.numSms(); ++i)
+            allowed += allowedWarps(i);
+        tracer->gauges().set("ccws_allowed_warps",
+                             static_cast<double>(allowed));
+        tracer->gauges().set("ccws_lost_locality_events",
+                             static_cast<double>(lostEvents_.load()));
+    }
 }
 
 int

@@ -45,6 +45,7 @@ DynCta::onSmCycle(GpuTop &gpu)
         w.reset();
 
         auto &sm = gpu.sm(i);
+        const int old_target = sm.targetBlocks();
         if (mem_frac > cfg_.memStallHigh) {
             if (sm.targetBlocks() > 1) {
                 sm.setTargetBlocks(sm.targetBlocks() - 1);
@@ -56,6 +57,13 @@ DynCta::onSmCycle(GpuTop &gpu)
                 sm.setTargetBlocks(sm.targetBlocks() + 1);
                 ++blockChanges_;
             }
+        }
+        if (sm.targetBlocks() != old_target) {
+            if (Tracer *tracer = gpu.tracer())
+                tracer->emit(makeSmEvent(
+                    TraceEventKind::BlockTarget,
+                    gpu.smDomain().cycle(), i, sm.targetBlocks(),
+                    old_target));
         }
     }
 }

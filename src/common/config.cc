@@ -88,6 +88,82 @@ Config::fromArgs(const std::vector<std::string> &args,
     return cfg;
 }
 
+Config
+Config::fromArgs(const std::vector<std::string> &args,
+                 const std::vector<Knob> &knobs)
+{
+    std::vector<std::string> names;
+    names.reserve(knobs.size());
+    for (const auto &k : knobs)
+        names.push_back(k.name);
+
+    // Map every raw key to its canonical knob name before validating,
+    // warning once per deprecated spelling actually used.
+    Config cfg;
+    for (const auto &arg : args) {
+        auto pos = arg.find('=');
+        if (pos == std::string::npos || pos == 0)
+            fatal("malformed option '", arg, "', expected key=value");
+        const std::string raw = arg.substr(0, pos);
+        const std::string value = arg.substr(pos + 1);
+
+        std::string key = raw;
+        std::replace(key.begin(), key.end(), '-', '_');
+        auto canonical = [&knobs, &key]() -> const Knob * {
+            for (const auto &k : knobs) {
+                if (k.name == key)
+                    return &k;
+                for (const auto &a : k.aliases)
+                    if (a == key)
+                        return &k;
+            }
+            return nullptr;
+        }();
+
+        if (!canonical) {
+            std::string msg = "unknown option '" + raw + "'";
+            const auto close = closeMatches(key, names);
+            if (!close.empty()) {
+                msg += "; did you mean ";
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    msg += (i ? ", '" : "'") + close[i] + "'";
+            } else {
+                msg += "; known options:";
+                for (const auto &n : names)
+                    msg += " " + n;
+            }
+            fatal(msg);
+        }
+        if (raw != canonical->name) {
+            warn("option '", raw, "' is a deprecated spelling of '",
+                 canonical->name, "'");
+        }
+        cfg.set(canonical->name, value);
+    }
+    return cfg;
+}
+
+std::string
+Config::knobUsage(const std::vector<Knob> &knobs)
+{
+    std::size_t width = 0;
+    for (const auto &k : knobs)
+        width = std::max(width, k.name.size());
+    std::string out;
+    for (const auto &k : knobs) {
+        out += "  " + k.name +
+               std::string(width - k.name.size() + 2, ' ') + k.doc;
+        if (!k.aliases.empty()) {
+            out += " [aliases:";
+            for (const auto &a : k.aliases)
+                out += " " + a;
+            out += "]";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {

@@ -19,6 +19,18 @@
 namespace equalizer
 {
 
+/**
+ * One documented runtime knob: the canonical snake_case key, its
+ * one-line description, and any deprecated spellings that still parse
+ * (with a warning pointing at the canonical name).
+ */
+struct Knob
+{
+    std::string name; ///< canonical snake_case key
+    std::string doc;  ///< one-line description for usage output
+    std::vector<std::string> aliases; ///< deprecated spellings
+};
+
 /** A flat dictionary of string options with typed getters. */
 class Config
 {
@@ -36,6 +48,19 @@ class Config
      */
     static Config fromArgs(const std::vector<std::string> &args,
                            const std::vector<std::string> &known_keys);
+
+    /**
+     * Knob-registry parse: every key is canonicalized (hyphens become
+     * underscores, registered aliases map to their knob's name, both
+     * with a deprecation warn()), then validated against the registry
+     * with the same did-you-mean rejection as the known-keys overload.
+     * The returned Config only contains canonical keys.
+     */
+    static Config fromArgs(const std::vector<std::string> &args,
+                           const std::vector<Knob> &knobs);
+
+    /** One "  name  doc [aliases: ...]" usage line per knob. */
+    static std::string knobUsage(const std::vector<Knob> &knobs);
 
     /** Set (or overwrite) an option. */
     void set(const std::string &key, const std::string &value);

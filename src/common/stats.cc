@@ -28,10 +28,32 @@ StatRegistry::counter(const std::string &name)
     return counters_[name];
 }
 
+void
+Gauge::visitState(StateVisitor &v)
+{
+    v.field(value_);
+    v.field(min_);
+    v.field(max_);
+    v.field(sets_);
+}
+
 Distribution &
 StatRegistry::distribution(const std::string &name)
 {
     return distributions_[name];
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+double
+StatRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
 std::uint64_t
@@ -48,6 +70,8 @@ StatRegistry::resetAll()
         c.reset();
     for (auto &[name, d] : distributions_)
         d.reset();
+    for (auto &[name, g] : gauges_)
+        g.reset();
 }
 
 StatRegistry
@@ -61,9 +85,11 @@ StatRegistry::snapshotAndReset()
 void
 StatRegistry::visitState(StateVisitor &v)
 {
-    v.beginSection("stats", 1);
+    // v2: adds the gauge map (per-section bump policy, docs/SNAPSHOT.md).
+    v.beginSection("stats", 2);
     v.field(counters_);
     v.field(distributions_);
+    v.field(gauges_);
     v.endSection();
 }
 
@@ -78,6 +104,11 @@ StatRegistry::dump() const
         os << name << ".min " << d.min() << '\n';
         os << name << ".max " << d.max() << '\n';
         os << name << ".count " << d.count() << '\n';
+    }
+    for (const auto &[name, g] : gauges_) {
+        os << name << ".value " << g.value() << '\n';
+        os << name << ".min " << g.min() << '\n';
+        os << name << ".max " << g.max() << '\n';
     }
     return os.str();
 }

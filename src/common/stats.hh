@@ -105,6 +105,53 @@ class Distribution
 };
 
 /**
+ * A last-value statistic: components publish the current level of some
+ * quantity (queue depth, block target, joules so far) and the tracing
+ * subsystem samples it once per epoch — the "live metrics" counterpart
+ * of the monotone Counter (docs/TRACING.md).
+ */
+class Gauge
+{
+  public:
+    /** Publish the current level. */
+    void
+    set(double v)
+    {
+        value_ = v;
+        if (sets_ == 0 || v < min_)
+            min_ = v;
+        if (sets_ == 0 || v > max_)
+            max_ = v;
+        ++sets_;
+    }
+
+    /** Return to the freshly-constructed state. */
+    void reset() { *this = Gauge{}; }
+
+    /** Capture the current level and extremes, then reset. */
+    Gauge
+    snapshotAndReset()
+    {
+        Gauge snap = *this;
+        reset();
+        return snap;
+    }
+
+    double value() const { return value_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    std::uint64_t sets() const { return sets_; }
+
+    void visitState(StateVisitor &v);
+
+  private:
+    double value_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t sets_ = 0;
+};
+
+/**
  * Owner of named statistics. Each simulated GPU instance carries one
  * registry so concurrent experiments never share counters.
  */
@@ -116,6 +163,12 @@ class StatRegistry
 
     /** Get or create a distribution with the given dotted name. */
     Distribution &distribution(const std::string &name);
+
+    /** Get or create a gauge with the given dotted name. */
+    Gauge &gauge(const std::string &name);
+
+    /** Look up a gauge's last value; 0.0 when absent. */
+    double gaugeValue(const std::string &name) const;
 
     /** Look up a counter's value; 0 when absent. */
     std::uint64_t counterValue(const std::string &name) const;
@@ -141,9 +194,12 @@ class StatRegistry
         return counters_;
     }
 
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Distribution> distributions_;
+    std::map<std::string, Gauge> gauges_;
 };
 
 } // namespace equalizer

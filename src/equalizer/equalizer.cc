@@ -91,6 +91,7 @@ EqualizerEngine::endEpoch(GpuTop &gpu)
 {
     ++epochs_;
     const int n = gpu.numSms();
+    Tracer *tracer = gpu.tracer();
 
     EqualizerEpochRecord rec;
     rec.cycle = gpu.smDomain().cycle();
@@ -122,6 +123,7 @@ EqualizerEngine::endEpoch(GpuTop &gpu)
             dir = d.blockDelta;
             count = d.blockDelta != 0 ? 1 : 0;
         }
+        const int old_target = sm.targetBlocks();
         if (d.blockDelta != 0 && count >= cfg_.hysteresis) {
             sm.setTargetBlocks(sm.targetBlocks() + d.blockDelta);
             ++blockChanges_;
@@ -136,6 +138,26 @@ EqualizerEngine::endEpoch(GpuTop &gpu)
             applyObjective(d, cfg_.mode, gpu.smDomain().state(),
                            gpu.memDomain().state());
         freqMgr_->submit(i, t.sm, t.mem);
+
+        if (tracer) {
+            tracer->emit(makeSampleEvent(TraceEventKind::EpochSample,
+                                         rec.cycle, i, avg.nActive,
+                                         avg.nWaiting, avg.nAlu,
+                                         avg.nMem));
+            tracer->emit(makeSmEvent(
+                TraceEventKind::Tendency, rec.cycle, i,
+                static_cast<std::int64_t>(d.tendency), d.blockDelta,
+                sm.targetBlocks()));
+            if (sm.targetBlocks() != old_target)
+                tracer->emit(makeSmEvent(TraceEventKind::BlockTarget,
+                                         rec.cycle, i,
+                                         sm.targetBlocks(),
+                                         old_target));
+            tracer->emit(makeSmEvent(
+                TraceEventKind::VfVote, rec.cycle, i,
+                static_cast<std::int64_t>(t.sm),
+                static_cast<std::int64_t>(t.mem)));
+        }
 
         rec.meanCounters.nActive += avg.nActive / n;
         rec.meanCounters.nWaiting += avg.nWaiting / n;

@@ -79,13 +79,27 @@ FrequencyManager::resolve(GpuTop &gpu)
     const VfState next_sm = step_toward(cur_sm, want_sm);
     const VfState next_mem = step_toward(cur_mem, want_mem);
 
+    // VfStep trace payload: i = {domain (0 sm / 1 mem), from, to}.
+    Tracer *tracer = gpu.tracer();
+    const Cycle now = gpu.smDomain().cycle();
+
     if (next_sm != cur_sm) {
         gpu.requestVfState(PowerDomain::Sm, next_sm);
         ++transitions_;
+        if (tracer)
+            tracer->emit(makeSmEvent(
+                TraceEventKind::VfStep, now, -1, 0,
+                static_cast<std::int64_t>(cur_sm),
+                static_cast<std::int64_t>(next_sm)));
     }
     if (next_mem != cur_mem) {
         gpu.requestVfState(PowerDomain::Memory, next_mem);
         ++transitions_;
+        if (tracer)
+            tracer->emit(makeSmEvent(
+                TraceEventKind::VfStep, now, -1, 1,
+                static_cast<std::int64_t>(cur_mem),
+                static_cast<std::int64_t>(next_mem)));
     }
 
     clear();

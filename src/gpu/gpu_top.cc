@@ -46,6 +46,69 @@ GpuTop::requestVfState(PowerDomain domain, VfState target)
 }
 
 void
+GpuTop::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_) {
+        tracer_->attach(numSms());
+        for (int s = 0; s < numSms(); ++s)
+            sms_[static_cast<std::size_t>(s)]->setTraceRing(
+                tracer_->ring(s));
+        // Built-in device gauges, sampled once per tracer epoch.
+        auto &g = tracer_->gauges();
+        g.define("instructions");
+        g.define("l1_hit_rate");
+        g.define("l2_hit_rate");
+        g.define("dram_accesses");
+        g.define("mean_dram_queue_depth");
+    } else {
+        for (const auto &sm : sms_)
+            sm->setTraceRing(nullptr);
+    }
+}
+
+void
+GpuTop::traceEpoch(Cycle cycle)
+{
+    // Per-SM queue high-water marks, collected at the barrier where
+    // nothing else runs (the counters are single-writer during the
+    // parallel phase; reading them here is ordered by the join).
+    std::uint64_t issued = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    for (int s = 0; s < numSms(); ++s) {
+        auto &sm = *sms_[static_cast<std::size_t>(s)];
+        tracer_->emit(makeSmEvent(
+            TraceEventKind::HighWater, cycle, s,
+            static_cast<std::int64_t>(sm.lsu().takeQueueHighWater()),
+            static_cast<std::int64_t>(
+                memSystem_.smInjectQueue(s).takeHighWater()),
+            static_cast<std::int64_t>(sm.l1().takeMshrHighWater())));
+        issued += sm.instructionsIssued();
+        l1_hits += sm.l1().hits();
+        l1_misses += sm.l1().misses();
+    }
+
+    auto &g = tracer_->gauges();
+    g.set("instructions", static_cast<double>(issued));
+    const std::uint64_t l1_total = l1_hits + l1_misses;
+    g.set("l1_hit_rate", l1_total ? static_cast<double>(l1_hits) /
+                                        static_cast<double>(l1_total)
+                                  : 0.0);
+    const std::uint64_t l2_total =
+        memSystem_.l2Hits() + memSystem_.l2Misses();
+    g.set("l2_hit_rate",
+          l2_total ? static_cast<double>(memSystem_.l2Hits()) /
+                         static_cast<double>(l2_total)
+                   : 0.0);
+    g.set("dram_accesses",
+          static_cast<double>(memSystem_.dramAccesses()));
+    g.set("mean_dram_queue_depth", memSystem_.meanDramQueueDepth());
+
+    tracer_->drainEpoch(cycle);
+}
+
+void
 GpuTop::setAllTargetBlocks(int target)
 {
     for (const auto &sm : sms_)
@@ -135,6 +198,11 @@ GpuTop::beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles)
     run_.cycleLimit = smDomain_.cycle() + max_sm_cycles;
     run_.active = true;
 
+    if (tracer_)
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
+                                      smDomain_.cycle(),
+                                      kernel.info().name.c_str()));
+
     distributeBlocks();
 }
 
@@ -156,6 +224,8 @@ GpuTop::finishRun(const KernelLaunch &kernel)
                 controller_->onSmCycle(*this);
             if (observer_)
                 observer_(*this);
+            if (tracer_ && tracer_->epochBoundary(smDomain_.cycle()))
+                traceEpoch(smDomain_.cycle());
 
             if (smDomain_.cycle() > run_.cycleLimit)
                 panic("kernel '", kernel.info().name,
@@ -166,6 +236,13 @@ GpuTop::finishRun(const KernelLaunch &kernel)
 
     if (controller_)
         controller_->onKernelComplete(*this);
+
+    if (tracer_) {
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelEnd,
+                                      smDomain_.cycle(),
+                                      kernel.info().name.c_str()));
+        tracer_->drainRings(smDomain_.cycle());
+    }
 
     const Snapshot before = run_.before;
     const Snapshot after = takeSnapshot();
@@ -268,6 +345,14 @@ GpuTop::runKernelsConcurrent(
     if (controller_)
         controller_->onKernelLaunch(*this);
 
+    std::string co_name = "concurrent";
+    for (const auto *k : kernels)
+        co_name += ":" + k->info().name;
+    if (tracer_)
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
+                                      smDomain_.cycle(),
+                                      co_name.c_str()));
+
     auto distribute = [&] {
         bool assigned = true;
         while (assigned) {
@@ -312,6 +397,8 @@ GpuTop::runKernelsConcurrent(
                 controller_->onSmCycle(*this);
             if (observer_)
                 observer_(*this);
+            if (tracer_ && tracer_->epochBoundary(smDomain_.cycle()))
+                traceEpoch(smDomain_.cycle());
             if (smDomain_.cycle() > cycle_limit)
                 panic("concurrent kernel run exceeded the cycle limit (",
                       max_sm_cycles, " SM cycles); likely a deadlock");
@@ -321,11 +408,16 @@ GpuTop::runKernelsConcurrent(
     if (controller_)
         controller_->onKernelComplete(*this);
 
+    if (tracer_) {
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelEnd,
+                                      smDomain_.cycle(),
+                                      co_name.c_str()));
+        tracer_->drainRings(smDomain_.cycle());
+    }
+
     const Snapshot after = takeSnapshot();
     RunMetrics m;
-    m.kernel = "concurrent";
-    for (const auto *k : kernels)
-        m.kernel += ":" + k->info().name;
+    m.kernel = co_name;
     m.smCycles = after.smCycles - before.smCycles;
     m.memCycles = after.memCycles - before.memCycles;
     m.instructions = after.instructions - before.instructions;
@@ -408,6 +500,15 @@ GpuTop::saveStateBuffer() const
     auto &self = const_cast<GpuTop &>(*this);
     BufferStateWriter w(configFingerprint(cfg_, energy_.config()));
     self.visitState(w, ControllerMismatch::Fatal);
+
+    // Complete the trace prefix: drain buffered SM events, then mark
+    // the save point so a resumed run's suffix trace concatenates onto
+    // this one (docs/TRACING.md).
+    if (tracer_ && tracer_->attached()) {
+        tracer_->drainRings(smDomain_.cycle());
+        tracer_->emit(makeDeviceEvent(TraceEventKind::Checkpoint,
+                                      smDomain_.cycle()));
+    }
     return w.take();
 }
 
@@ -415,9 +516,18 @@ void
 GpuTop::loadStateBuffer(const std::vector<std::uint8_t> &buf,
                         ControllerMismatch on_mismatch)
 {
+    // Events recorded before the restore belong to the abandoned
+    // timeline; push them out before the clock jumps.
+    if (tracer_ && tracer_->attached())
+        tracer_->drainRings(smDomain_.cycle());
+
     BufferStateReader r(buf, configFingerprint(cfg_, energy_.config()));
     visitState(r, on_mismatch);
     r.finish();
+
+    if (tracer_)
+        tracer_->emit(makeDeviceEvent(TraceEventKind::Restore,
+                                      smDomain_.cycle()));
 }
 
 void
@@ -436,6 +546,9 @@ void
 GpuTop::forkFrom(const GpuTop &parent)
 {
     loadStateBuffer(parent.saveStateBuffer(), ControllerMismatch::Drop);
+    if (tracer_)
+        tracer_->emit(makeDeviceEvent(TraceEventKind::Fork,
+                                      smDomain_.cycle()));
 }
 
 } // namespace equalizer

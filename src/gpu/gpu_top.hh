@@ -25,6 +25,7 @@
 #include "sim/clock_domain.hh"
 #include "sim/parallel_executor.hh"
 #include "sim/state.hh"
+#include "trace/tracer.hh"
 
 namespace equalizer
 {
@@ -99,6 +100,18 @@ class GpuTop
     {
         observer_ = std::move(observer);
     }
+
+    /**
+     * Install the epoch-level tracer (non-owning; nullptr detaches).
+     * Attaches a ring to every SM, registers the built-in device
+     * gauges, and drains at every tracer epoch boundary inside the
+     * serial barrier phase — so a threads=N trace is byte-identical to
+     * threads=1 (docs/TRACING.md).
+     */
+    void setTracer(Tracer *tracer);
+
+    /** The installed tracer, or nullptr (components emit through it). */
+    Tracer *tracer() const { return tracer_; }
 
     /**
      * Execute one kernel invocation to completion.
@@ -251,6 +264,7 @@ class GpuTop
     void tickSms(Cycle mem_now);
     void beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles);
     RunMetrics finishRun(const KernelLaunch &kernel);
+    void traceEpoch(Cycle cycle);
 
     GpuConfig cfg_;
     EnergyModel energy_;
@@ -262,6 +276,7 @@ class GpuTop
 
     GpuController *controller_ = nullptr;
     ParallelExecutor *executor_ = nullptr;
+    Tracer *tracer_ = nullptr;
     std::function<void(GpuTop &)> observer_;
     const KernelLaunch *currentKernel_ = nullptr;
 

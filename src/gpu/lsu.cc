@@ -1,5 +1,7 @@
 #include "lsu.hh"
 
+#include <algorithm>
+
 namespace equalizer
 {
 
@@ -16,6 +18,8 @@ LoadStoreUnit::accept(WarpId warp, const WarpInstruction &inst)
     EQ_ASSERT(canAccept(), "LSU accept() without canAccept()");
     EQ_ASSERT(inst.op == OpClass::Mem, "LSU fed a non-memory instruction");
     queue_.push_back(Entry{warp, inst, 0});
+    queueHighWater_ = std::max<std::uint64_t>(queueHighWater_,
+                                              queue_.size());
     acceptedThisCycle_ = true;
 }
 

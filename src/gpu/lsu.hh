@@ -62,6 +62,18 @@ class LoadStoreUnit
     bool empty() const { return queue_.empty(); }
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Deepest queue occupancy since the last call; resets to the
+     * current depth. Sampled per tracer epoch (HighWater events).
+     */
+    std::uint64_t
+    takeQueueHighWater()
+    {
+        const std::uint64_t hw = queueHighWater_;
+        queueHighWater_ = queue_.size();
+        return hw;
+    }
+
     std::uint64_t transactionsIssued() const { return transactions_; }
     std::uint64_t blockedCycles() const { return blockedCycles_; }
 
@@ -71,12 +83,15 @@ class LoadStoreUnit
     void
     visitState(StateVisitor &v)
     {
-        v.beginSection("lsu", 1);
+        // v2: queue high-water mark, so HighWater trace events after a
+        // restore match an uninterrupted run's (docs/TRACING.md).
+        v.beginSection("lsu", 2);
         v.field(queue_);
         v.field(acceptedThisCycle_);
         v.field(hitWakeups_);
         v.field(transactions_);
         v.field(blockedCycles_);
+        v.field(queueHighWater_);
         v.endSection();
     }
 
@@ -100,6 +115,7 @@ class LoadStoreUnit
 
     std::uint64_t transactions_ = 0;
     std::uint64_t blockedCycles_ = 0;
+    std::uint64_t queueHighWater_ = 0;
 };
 
 } // namespace equalizer

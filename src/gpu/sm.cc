@@ -124,10 +124,16 @@ void
 StreamingMultiprocessor::applyPauseState()
 {
     auto set_block_pause = [this](int slot, bool paused) {
-        blocks_[static_cast<std::size_t>(slot)].paused = paused;
+        auto &b = blocks_[static_cast<std::size_t>(slot)];
+        b.paused = paused;
         for (int wib = 0; wib < warpsPerBlock_; ++wib)
             warps_[static_cast<std::size_t>(firstWarpOf(slot) + wib)]
                 .paused = paused;
+        traceEmit(traceRing_, [&] {
+            return makeSmEvent(paused ? TraceEventKind::CtaPause
+                                      : TraceEventKind::CtaResume,
+                               cycle_, id_, slot, b.block);
+        });
     };
 
     // Pause the youngest running blocks while over target.
@@ -206,6 +212,11 @@ StreamingMultiprocessor::handleRetirement(WarpId wid)
         warpRetiredCounted_[static_cast<std::size_t>(i)] = false;
     }
     ++blocksCompleted_;
+    traceEmit(traceRing_, [&] {
+        return makeSmEvent(TraceEventKind::BlockComplete, cycle_, id_,
+                           finished,
+                           static_cast<std::int64_t>(blocksCompleted_));
+    });
 
     // Paper IV-B: a paused block is unpaused when an active block
     // finishes; no new GWDE request is made in that case.

@@ -20,6 +20,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/memory_system.hh"
 #include "power/energy_model.hh"
+#include "trace/ring_buffer.hh"
 
 namespace equalizer
 {
@@ -106,6 +107,13 @@ class StreamingMultiprocessor
         memIssueFilter_ = std::move(filter);
     }
 
+    /**
+     * Bind this SM's trace ring (non-owning; nullptr detaches). Only
+     * this SM writes to it during the parallel phase; GpuTop drains it
+     * serially at tracer epoch boundaries.
+     */
+    void setTraceRing(TraceRing *ring) { traceRing_ = ring; }
+
     // --- Aggregate statistics (since setKernel or resetStats).
     std::uint64_t instructionsIssued() const { return issued_; }
     std::uint64_t activeCycles() const { return activeCycles_; }
@@ -183,6 +191,7 @@ class StreamingMultiprocessor
 
     BlockCompleteHook onBlockComplete_;
     MemIssueFilter memIssueFilter_;
+    TraceRing *traceRing_ = nullptr;
 
     std::uint64_t issued_ = 0;
     std::uint64_t activeCycles_ = 0;

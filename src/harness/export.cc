@@ -1,6 +1,10 @@
 #include "export.hh"
 
+#include <algorithm>
+#include <fstream>
 #include <sstream>
+
+#include "common/log.hh"
 
 namespace equalizer
 {
@@ -17,18 +21,276 @@ num(double v)
     return os.str();
 }
 
-} // namespace
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
 
 void
-MetricsExporter::addResult(const std::string &kernel,
-                           const std::string &policy,
-                           const RunMetrics &total,
-                           const std::vector<RunMetrics> &invocations)
+writeCellJson(std::ostream &os, const ExportCell &cell)
+{
+    if (cell.quoted)
+        os << '"' << jsonEscape(cell.text) << '"';
+    else
+        os << cell.text;
+}
+
+} // namespace
+
+const char *
+exportFormatName(ExportFormat format)
+{
+    switch (format) {
+      case ExportFormat::Csv:
+        return "csv";
+      case ExportFormat::Json:
+        return "json";
+      case ExportFormat::TraceEvent:
+        return "trace-event";
+    }
+    return "?";
+}
+
+ExportFormat
+exportFormatFromName(const std::string &name)
+{
+    if (name == "csv")
+        return ExportFormat::Csv;
+    if (name == "json")
+        return ExportFormat::Json;
+    if (name == "trace-event" || name == "trace_event")
+        return ExportFormat::TraceEvent;
+    fatal("unknown export format '", name,
+          "' (expected csv, json or trace-event)");
+}
+
+ExportFormat
+exportFormatForPath(const std::string &path, ExportFormat fallback)
+{
+    auto ends_with = [&path](const char *suffix) {
+        const std::string s(suffix);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    if (ends_with(".trace.json"))
+        return ExportFormat::TraceEvent;
+    if (ends_with(".json"))
+        return ExportFormat::Json;
+    if (ends_with(".csv"))
+        return ExportFormat::Csv;
+    return fallback;
+}
+
+ExportCell
+ExportCell::str(std::string s)
+{
+    return ExportCell{std::move(s), true};
+}
+
+ExportCell
+ExportCell::num(double v)
+{
+    return ExportCell{equalizer::num(v), false};
+}
+
+ExportCell
+ExportCell::integer(std::int64_t v)
+{
+    return ExportCell{std::to_string(v), false};
+}
+
+ExportSink::ExportSink(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    if (columns_.empty())
+        fatal("ExportSink needs at least one column");
+}
+
+void
+ExportSink::meta(const std::string &key, ExportCell value)
+{
+    for (auto &[k, v] : meta_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    meta_.emplace_back(key, std::move(value));
+}
+
+void
+ExportSink::row(std::vector<ExportCell> cells)
+{
+    if (cells.size() != columns_.size())
+        fatal("export row has ", cells.size(), " cells but the table has ",
+              columns_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+ExportSink::write(std::ostream &os, ExportFormat format) const
+{
+    switch (format) {
+      case ExportFormat::Csv:
+        writeCsv(os);
+        return;
+      case ExportFormat::Json:
+        writeJson(os);
+        return;
+      case ExportFormat::TraceEvent:
+        writeTraceEvent(os);
+        return;
+    }
+}
+
+void
+ExportSink::writeFile(const std::string &path, ExportFormat format) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open export file '", path, "'");
+    write(os, format);
+}
+
+void
+ExportSink::writeCsv(std::ostream &os) const
+{
+    for (const auto &[key, value] : meta_)
+        os << "# " << key << " = " << value.text << '\n';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "," : "") << columns_[c];
+    os << '\n';
+    for (const auto &cells : rows_) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c].text;
+        os << '\n';
+    }
+}
+
+void
+ExportSink::writeJsonArray(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &cells = rows_[r];
+        os << "  {";
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            os << (c ? ", " : "") << '"' << jsonEscape(columns_[c])
+               << "\": ";
+            writeCellJson(os, cells[c]);
+        }
+        os << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+void
+ExportSink::writeJson(std::ostream &os) const
+{
+    os << "{\n\"meta\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+        os << (i ? ", " : "") << '"' << jsonEscape(meta_[i].first)
+           << "\": ";
+        writeCellJson(os, meta_[i].second);
+    }
+    os << "},\n\"rows\": ";
+    writeJsonArray(os);
+    os << "}\n";
+}
+
+void
+ExportSink::writeTraceEvent(std::ostream &os) const
+{
+    // Each row becomes one counter sample per numeric column at
+    // ts = row index, so a sweep loads directly into Perfetto.
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+    os << "{\"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+          "\"args\": {\"name\": \"export\"}}";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &cells = rows_[r];
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            if (cells[c].quoted)
+                continue;
+            os << ",\n{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": "
+               << r << ", \"name\": \"" << jsonEscape(columns_[c])
+               << "\", \"args\": {\"value\": " << cells[c].text << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+ExportSink
+ExportSink::metricsTable()
+{
+    return ExportSink(MetricsExporter::columns());
+}
+
+void
+ExportSink::addMetrics(const std::string &kernel, const std::string &policy,
+                       int invocation, const RunMetrics &m)
+{
+    const double active =
+        std::max<double>(1.0, static_cast<double>(m.outcomeTotals.active));
+    Tick total_res = 0;
+    for (auto t : m.smResidency)
+        total_res += t;
+    auto res_frac = [total_res](Tick t) {
+        return total_res
+                   ? static_cast<double>(t) / static_cast<double>(total_res)
+                   : 0.0;
+    };
+
+    row({
+        ExportCell::str(kernel),
+        ExportCell::str(policy),
+        ExportCell::integer(invocation),
+        ExportCell::num(m.seconds),
+        ExportCell::integer(static_cast<std::int64_t>(m.smCycles)),
+        ExportCell::integer(static_cast<std::int64_t>(m.memCycles)),
+        ExportCell::integer(static_cast<std::int64_t>(m.instructions)),
+        ExportCell::num(m.ipc()),
+        ExportCell::num(m.dynamicJoules),
+        ExportCell::num(m.staticJoules),
+        ExportCell::num(m.totalJoules()),
+        ExportCell::num(m.l1HitRate()),
+        ExportCell::integer(static_cast<std::int64_t>(m.l2Hits)),
+        ExportCell::integer(static_cast<std::int64_t>(m.l2Misses)),
+        ExportCell::integer(static_cast<std::int64_t>(m.dramAccesses)),
+        ExportCell::integer(static_cast<std::int64_t>(m.dramRowHits)),
+        ExportCell::num(static_cast<double>(m.outcomeTotals.waiting) /
+                        active),
+        ExportCell::num(static_cast<double>(m.outcomeTotals.excessMem) /
+                        active),
+        ExportCell::num(static_cast<double>(m.outcomeTotals.excessAlu) /
+                        active),
+        ExportCell::num(
+            res_frac(m.smResidency[static_cast<int>(VfState::High)])),
+        ExportCell::num(
+            res_frac(m.smResidency[static_cast<int>(VfState::Low)])),
+        ExportCell::num(
+            res_frac(m.memResidency[static_cast<int>(VfState::High)])),
+        ExportCell::num(
+            res_frac(m.memResidency[static_cast<int>(VfState::Low)])),
+        ExportCell::num(m.dramPowerDownFraction),
+    });
+}
+
+void
+ExportSink::addResult(const std::string &kernel, const std::string &policy,
+                      const RunMetrics &total,
+                      const std::vector<RunMetrics> &invocations)
 {
     for (std::size_t i = 0; i < invocations.size(); ++i)
-        add(MetricsRow{kernel, policy, static_cast<int>(i),
-                       invocations[i]});
-    add(MetricsRow{kernel, policy, -1, total});
+        addMetrics(kernel, policy, static_cast<int>(i), invocations[i]);
+    addMetrics(kernel, policy, -1, total);
 }
 
 const std::vector<std::string> &
@@ -45,85 +307,6 @@ MetricsExporter::columns()
         "mem_high_frac",  "mem_low_frac",   "dram_pd_frac",
     };
     return cols;
-}
-
-std::vector<std::string>
-MetricsExporter::values(const MetricsRow &row)
-{
-    const RunMetrics &m = row.metrics;
-    const double active =
-        std::max<double>(1.0, static_cast<double>(m.outcomeTotals.active));
-    Tick total_res = 0;
-    for (auto t : m.smResidency)
-        total_res += t;
-    auto res_frac = [total_res](Tick t) {
-        return total_res
-                   ? static_cast<double>(t) / static_cast<double>(total_res)
-                   : 0.0;
-    };
-
-    return {
-        row.kernel,
-        row.policy,
-        std::to_string(row.invocation),
-        num(m.seconds),
-        std::to_string(m.smCycles),
-        std::to_string(m.memCycles),
-        std::to_string(m.instructions),
-        num(m.ipc()),
-        num(m.dynamicJoules),
-        num(m.staticJoules),
-        num(m.totalJoules()),
-        num(m.l1HitRate()),
-        std::to_string(m.l2Hits),
-        std::to_string(m.l2Misses),
-        std::to_string(m.dramAccesses),
-        std::to_string(m.dramRowHits),
-        num(static_cast<double>(m.outcomeTotals.waiting) / active),
-        num(static_cast<double>(m.outcomeTotals.excessMem) / active),
-        num(static_cast<double>(m.outcomeTotals.excessAlu) / active),
-        num(res_frac(m.smResidency[static_cast<int>(VfState::High)])),
-        num(res_frac(m.smResidency[static_cast<int>(VfState::Low)])),
-        num(res_frac(m.memResidency[static_cast<int>(VfState::High)])),
-        num(res_frac(m.memResidency[static_cast<int>(VfState::Low)])),
-        num(m.dramPowerDownFraction),
-    };
-}
-
-void
-MetricsExporter::writeCsv(std::ostream &os) const
-{
-    const auto &cols = columns();
-    for (std::size_t c = 0; c < cols.size(); ++c)
-        os << (c ? "," : "") << cols[c];
-    os << '\n';
-    for (const auto &row : rows_) {
-        const auto vals = values(row);
-        for (std::size_t c = 0; c < vals.size(); ++c)
-            os << (c ? "," : "") << vals[c];
-        os << '\n';
-    }
-}
-
-void
-MetricsExporter::writeJson(std::ostream &os) const
-{
-    const auto &cols = columns();
-    os << "[\n";
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-        const auto vals = values(rows_[r]);
-        os << "  {";
-        for (std::size_t c = 0; c < cols.size(); ++c) {
-            os << (c ? ", " : "") << '"' << cols[c] << "\": ";
-            // Identity columns are strings; the rest are numeric.
-            if (c < 2)
-                os << '"' << vals[c] << '"';
-            else
-                os << vals[c];
-        }
-        os << '}' << (r + 1 < rows_.size() ? "," : "") << '\n';
-    }
-    os << "]\n";
 }
 
 } // namespace equalizer

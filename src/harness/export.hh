@@ -1,12 +1,25 @@
 /**
  * @file
- * Machine-readable export of run metrics (CSV / JSON) for plotting the
- * figures outside the simulator.
+ * The unified export API: every machine-readable artifact the harness
+ * emits (per-bench JSON, metrics CSV, Chrome trace-event JSON) goes
+ * through one ExportSink, so benches and examples share one schema,
+ * one formatter and one format-selection rule.
+ *
+ * An ExportSink is a named-column table plus free-form metadata.
+ * Formats:
+ *  - Csv: optional `# key = value` meta comments, header, one line
+ *    per row.
+ *  - Json: `{"meta": {...}, "rows": [{col: val, ...}, ...]}`.
+ *  - TraceEvent: rows rendered as Chrome trace_event counter samples
+ *    (ts = row index) for a quick Perfetto look at a sweep. Full
+ *    simulation traces come from the trace subsystem instead
+ *    (docs/TRACING.md).
  */
 
 #ifndef EQ_HARNESS_EXPORT_HH
 #define EQ_HARNESS_EXPORT_HH
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +28,93 @@
 
 namespace equalizer
 {
+
+/** Serialization formats an ExportSink can write. */
+enum class ExportFormat
+{
+    Csv,
+    Json,
+    TraceEvent,
+};
+
+/** Canonical name ("csv", "json", "trace-event"). */
+const char *exportFormatName(ExportFormat format);
+
+/** Parse a format name; fatal() on anything unknown. */
+ExportFormat exportFormatFromName(const std::string &name);
+
+/**
+ * Infer the format from a file suffix: ".csv", ".json", and
+ * ".trace.json" (Chrome trace-event); anything else gets @p fallback.
+ */
+ExportFormat exportFormatForPath(const std::string &path,
+                                 ExportFormat fallback);
+
+/** One table cell: rendered text plus whether JSON must quote it. */
+struct ExportCell
+{
+    std::string text;
+    bool quoted = false;
+
+    static ExportCell str(std::string s);
+    static ExportCell num(double v);
+    static ExportCell integer(std::int64_t v);
+};
+
+/**
+ * The one export path: collect rows (and metadata), then write in any
+ * ExportFormat.
+ */
+class ExportSink
+{
+  public:
+    explicit ExportSink(std::vector<std::string> columns);
+
+    /** Attach a metadata entry (sweep parameters, bench identity). */
+    void meta(const std::string &key, ExportCell value);
+
+    /** Append one row; fatal() unless it has one cell per column. */
+    void row(std::vector<ExportCell> cells);
+
+    const std::vector<std::string> &columnNames() const
+    {
+        return columns_;
+    }
+
+    std::size_t rowCount() const { return rows_.size(); }
+    void clear() { rows_.clear(); }
+
+    void write(std::ostream &os, ExportFormat format) const;
+
+    /** write() to a file; fatal() when it cannot be opened. */
+    void writeFile(const std::string &path, ExportFormat format) const;
+
+    // --- The shared run-metrics schema (benches, eqsim, examples).
+
+    /** A sink with the standard RunMetrics column set. */
+    static ExportSink metricsTable();
+
+    /** Append one RunMetrics row (invocation -1 = whole-app total). */
+    void addMetrics(const std::string &kernel, const std::string &policy,
+                    int invocation, const RunMetrics &m);
+
+    /** Append all invocations (and the total) of a harness result. */
+    void addResult(const std::string &kernel, const std::string &policy,
+                   const RunMetrics &total,
+                   const std::vector<RunMetrics> &invocations);
+
+  private:
+    friend class MetricsExporter; // bare-array JSON compatibility
+
+    void writeCsv(std::ostream &os) const;
+    void writeJson(std::ostream &os) const;
+    void writeJsonArray(std::ostream &os) const;
+    void writeTraceEvent(std::ostream &os) const;
+
+    std::vector<std::string> columns_;
+    std::vector<std::pair<std::string, ExportCell>> meta_;
+    std::vector<std::vector<ExportCell>> rows_;
+};
 
 /** One exported row: identity plus its measurements. */
 struct MetricsRow
@@ -25,34 +125,54 @@ struct MetricsRow
     RunMetrics metrics;
 };
 
-/** Streams MetricsRow collections as CSV or JSON. */
+/**
+ * Streams MetricsRow collections as CSV or JSON.
+ *
+ * @deprecated Thin shim over ExportSink, kept so existing callers and
+ * artifact consumers keep working; new code should use
+ * ExportSink::metricsTable() and write()/writeFile() directly. The
+ * output bytes are unchanged: writeCsv() is write(os, Csv), and
+ * writeJson() keeps the historical bare-array form.
+ */
 class MetricsExporter
 {
   public:
+    MetricsExporter() : sink_(ExportSink::metricsTable()) {}
+
     /** Append one row. */
-    void add(MetricsRow row) { rows_.push_back(std::move(row)); }
+    void
+    add(MetricsRow row)
+    {
+        sink_.addMetrics(row.kernel, row.policy, row.invocation,
+                         row.metrics);
+    }
 
     /** Append all invocations (and the total) of a harness result. */
-    void addResult(const std::string &kernel, const std::string &policy,
-                   const RunMetrics &total,
-                   const std::vector<RunMetrics> &invocations);
+    void
+    addResult(const std::string &kernel, const std::string &policy,
+              const RunMetrics &total,
+              const std::vector<RunMetrics> &invocations)
+    {
+        sink_.addResult(kernel, policy, total, invocations);
+    }
 
     /** Column header order of the CSV form. */
     static const std::vector<std::string> &columns();
 
     /** Render all rows as CSV (header + one line per row). */
-    void writeCsv(std::ostream &os) const;
+    void writeCsv(std::ostream &os) const
+    {
+        sink_.write(os, ExportFormat::Csv);
+    }
 
     /** Render all rows as a JSON array of objects. */
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os) const { sink_.writeJsonArray(os); }
 
-    std::size_t size() const { return rows_.size(); }
-    void clear() { rows_.clear(); }
+    std::size_t size() const { return sink_.rowCount(); }
+    void clear() { sink_.clear(); }
 
   private:
-    static std::vector<std::string> values(const MetricsRow &row);
-
-    std::vector<MetricsRow> rows_;
+    ExportSink sink_;
 };
 
 } // namespace equalizer

@@ -60,7 +60,7 @@ ExperimentRunner::run(const KernelParams &kernel, const PolicySpec &policy,
                       const Instrument &instrument)
 {
     const std::string key = kernel.name + "\x1f" + policy.name;
-    if (!instrument) {
+    if (!instrument && !tracer_) {
         for (const auto &[k, v] : cache_)
             if (k == key)
                 return v;
@@ -68,6 +68,8 @@ ExperimentRunner::run(const KernelParams &kernel, const PolicySpec &policy,
 
     GpuTop gpu(gpuCfg_, powerCfg_);
     gpu.setParallelExecutor(executor_.get());
+    if (tracer_)
+        gpu.setTracer(tracer_);
     auto controller = policy.build();
     gpu.setController(controller.get());
     if (instrument)
@@ -85,7 +87,7 @@ ExperimentRunner::run(const KernelParams &kernel, const PolicySpec &policy,
         result.invocations.push_back(std::move(m));
     }
 
-    if (!instrument)
+    if (!instrument && !tracer_)
         cache_.emplace_back(key, result);
     return result;
 }
@@ -140,6 +142,8 @@ ExperimentRunner::runColdSweep(const KernelParams &kernel,
     for (const auto &point : points) {
         GpuTop gpu(gpuCfg_, powerCfg_);
         gpu.setParallelExecutor(executor_.get());
+        if (tracer_)
+            gpu.setTracer(tracer_);
 
         auto warmup = prefix_policy.build();
         gpu.setController(warmup.get());
@@ -172,6 +176,8 @@ ExperimentRunner::runWarmSweep(const KernelParams &kernel,
 
     GpuTop parent(gpuCfg_, powerCfg_);
     parent.setParallelExecutor(executor_.get());
+    if (tracer_)
+        parent.setTracer(tracer_);
     auto warmup = prefix_policy.build();
     parent.setController(warmup.get());
     for (int inv = 0; inv < prefix_invocations; ++inv) {
@@ -188,6 +194,8 @@ ExperimentRunner::runWarmSweep(const KernelParams &kernel,
         // builds its controller after the prefix.
         GpuTop child(gpuCfg_, powerCfg_);
         child.setParallelExecutor(executor_.get());
+        if (tracer_)
+            child.setTracer(tracer_);
         child.forkFrom(parent);
         ++stats_.counter("sweep.forks");
 

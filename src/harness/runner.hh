@@ -84,6 +84,14 @@ class ExperimentRunner
     int threads() const;
 
     /**
+     * Record every subsequent run into @p tracer (nullptr disables).
+     * Applied to each GpuTop the runner constructs — including sweep
+     * parents and forked children — and bypasses the result cache so a
+     * traced run always simulates.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /**
      * Simulate every invocation of @p kernel under @p policy.
      *
      * @param instrument Optional hook for monitors/traces (disables the
@@ -134,6 +142,7 @@ class ExperimentRunner
 
     GpuConfig gpuCfg_;
     PowerConfig powerCfg_;
+    Tracer *tracer_ = nullptr;
     std::unique_ptr<ParallelExecutor> executor_; ///< null = serial path
     std::vector<std::pair<std::string, AppRunResult>> cache_;
 

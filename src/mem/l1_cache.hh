@@ -99,6 +99,9 @@ class L1Cache
 
     int mshrOutstanding() const { return mshrs_.outstanding(); }
 
+    /** MSHR occupancy high-water since the last call (trace epochs). */
+    int takeMshrHighWater() { return mshrs_.takeHighWater(); }
+
     /**
      * Serialize tags, MSHRs and counters. The eviction/miss hooks are
      * std::functions owned by whoever installed them (CCWS) and are
@@ -107,7 +110,8 @@ class L1Cache
     void
     visitState(StateVisitor &v)
     {
-        v.beginSection("l1", 1);
+        // v2: the MSHR file gained its high-water mark.
+        v.beginSection("l1", 2);
         v.field(tags_);
         v.field(mshrs_);
         v.field(hits_);

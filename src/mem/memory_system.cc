@@ -163,7 +163,8 @@ MemorySystem::meanDramQueueDepth() const
 void
 MemorySystem::visitState(StateVisitor &v)
 {
-    v.beginSection("memsys", 1);
+    // v2: bounded queues gained their high-water marks.
+    v.beginSection("memsys", 2);
     v.expectMatch(numSms_, "SM count");
     v.expectMatch(static_cast<int>(partitions_.size()),
                   "partition count");

@@ -56,6 +56,8 @@ class MshrFile
         if (static_cast<int>(pending_.size()) >= entries_)
             return Outcome::NoEntry;
         pending_[line_addr].push_back(warp);
+        highWater_ =
+            std::max(highWater_, static_cast<int>(pending_.size()));
         return Outcome::NewMiss;
     }
 
@@ -87,6 +89,18 @@ class MshrFile
 
     int outstanding() const { return static_cast<int>(pending_.size()); }
 
+    /**
+     * Most entries outstanding at once since the last call; resets to
+     * the current occupancy. Sampled per tracer epoch.
+     */
+    int
+    takeHighWater()
+    {
+        const int hw = highWater_;
+        highWater_ = outstanding();
+        return hw;
+    }
+
     int capacity() const { return entries_; }
 
     void clear() { pending_.clear(); }
@@ -99,8 +113,12 @@ class MshrFile
     void
     visitState(StateVisitor &v)
     {
+        // Own checksummed frame (v1 adds the high-water mark) so a
+        // standalone MSHR payload detects corruption too.
+        v.beginSection("mshr", 1);
         v.expectMatch(entries_, "MSHR entry count");
         v.expectMatch(maxMerges_, "MSHR merge limit");
+        v.field(highWater_);
         std::uint64_t n = pending_.size();
         v.field(n);
         if (v.saving()) {
@@ -121,11 +139,13 @@ class MshrFile
                 v.field(pending_[addr]);
             }
         }
+        v.endSection();
     }
 
   private:
     int entries_;
     int maxMerges_;
+    int highWater_ = 0;
     std::unordered_map<Addr, std::vector<WarpId>> pending_;
 };
 

@@ -38,7 +38,21 @@ class BoundedQueue
         if (full())
             return false;
         items_.push_back(std::move(item));
+        if (items_.size() > highWater_)
+            highWater_ = items_.size();
         return true;
+    }
+
+    /**
+     * Deepest occupancy since the last call; resets to the current
+     * depth. Sampled per tracer epoch (HighWater events).
+     */
+    std::size_t
+    takeHighWater()
+    {
+        const std::size_t hw = highWater_;
+        highWater_ = items_.size();
+        return hw;
     }
 
     /** Front element; queue must be non-empty. */
@@ -67,11 +81,13 @@ class BoundedQueue
     {
         v.expectMatch(capacity_, "bounded queue capacity");
         v.field(items_);
+        v.field(highWater_);
     }
 
   private:
     std::size_t capacity_;
     std::deque<T> items_;
+    std::size_t highWater_ = 0;
 };
 
 /**

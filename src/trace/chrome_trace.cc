@@ -1,0 +1,293 @@
+#include "chrome_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+namespace
+{
+
+// Process ids of the synthetic non-SM tracks. SM tracks use the SM
+// index itself as pid, so these start far above any real SM count.
+constexpr int devicePid = 10000;
+constexpr int clocksPid = 10001;
+constexpr int gaugesPid = 10002;
+
+// Keep in sync with equalizer::Tendency (src/equalizer/decision.hh);
+// eq_trace must not link eq_core, so the names live here too.
+const char *const tendencyNames[] = {
+    "MemoryHeavy",     "ComputeHeavy",  "MemorySaturated",
+    "UnsaturatedComp", "UnsaturatedMem", "IdleImbalance",
+    "Degenerate",
+};
+
+// Keep in sync with equalizer::VfState (src/sim/vf.hh).
+const char *const vfStateNames[] = { "Low", "Normal", "High" };
+
+// VfStep payload convention: i[0] = 0 for the SM domain, 1 for the
+// memory domain (see FrequencyManager::resolve()).
+const char *const clockDomainNames[] = { "sm_clock", "mem_clock" };
+
+const char *
+namedOr(const char *const *table, std::size_t n, std::int64_t idx,
+        const char *fallback)
+{
+    if (idx >= 0 && static_cast<std::size_t>(idx) < n)
+        return table[static_cast<std::size_t>(idx)];
+    return fallback;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Emits trace_event JSON objects with shared comma bookkeeping. */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &os) : os_(os)
+    {
+        os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    }
+
+    void
+    close()
+    {
+        os_ << "\n]}\n";
+    }
+
+    void
+    meta(int pid, const std::string &name)
+    {
+        sep();
+        os_ << "{\"ph\":\"M\",\"pid\":" << pid
+            << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+            << jsonEscape(name) << "\"}}";
+    }
+
+    void
+    counter(int pid, Cycle ts, const std::string &name,
+            const std::string &args)
+    {
+        sep();
+        os_ << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":"
+            << ts << ",\"name\":\"" << jsonEscape(name)
+            << "\",\"args\":{" << args << "}}";
+    }
+
+    void
+    instant(int pid, Cycle ts, const std::string &name,
+            const std::string &args = "")
+    {
+        sep();
+        os_ << "{\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+            << ",\"tid\":0,\"ts\":" << ts << ",\"name\":\""
+            << jsonEscape(name) << "\"";
+        if (!args.empty())
+            os_ << ",\"args\":{" << args << "}";
+        os_ << "}";
+    }
+
+    void
+    span(char ph, int pid, Cycle ts, const std::string &name)
+    {
+        sep();
+        os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+            << ",\"tid\":0,\"ts\":" << ts << ",\"name\":\""
+            << jsonEscape(name) << "\"}";
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (!first_)
+            os_ << ",\n";
+        first_ = false;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+std::string
+intArgs(const char *k0, std::int64_t v0, const char *k1 = nullptr,
+        std::int64_t v1 = 0, const char *k2 = nullptr,
+        std::int64_t v2 = 0, const char *k3 = nullptr,
+        std::int64_t v3 = 0)
+{
+    std::ostringstream ss;
+    ss << "\"" << k0 << "\":" << v0;
+    if (k1)
+        ss << ",\"" << k1 << "\":" << v1;
+    if (k2)
+        ss << ",\"" << k2 << "\":" << v2;
+    if (k3)
+        ss << ",\"" << k3 << "\":" << v3;
+    return ss.str();
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceReader &trace, std::ostream &os)
+{
+    const auto gauges = trace.gaugeNames();
+    EventWriter w(os);
+
+    w.meta(devicePid, "device");
+    w.meta(clocksPid, "clocks");
+    if (!gauges.empty())
+        w.meta(gaugesPid, "gauges");
+    for (std::uint32_t sm = 0; sm < trace.header().numSms; ++sm)
+        w.meta(static_cast<int>(sm), "SM " + std::to_string(sm));
+
+    for (const auto &e : trace.events()) {
+        const int pid = e.sm >= 0 ? e.sm : devicePid;
+        switch (e.kind) {
+          case TraceEventKind::KernelBegin:
+            w.span('B', devicePid, e.cycle, traceEventString(e));
+            break;
+          case TraceEventKind::KernelEnd:
+            w.span('E', devicePid, e.cycle, traceEventString(e));
+            break;
+          case TraceEventKind::EpochSample: {
+            std::ostringstream ss;
+            ss.precision(6);
+            ss << "\"active\":" << e.p.d[0] << ",\"waiting\":"
+               << e.p.d[1] << ",\"x_alu\":" << e.p.d[2]
+               << ",\"x_mem\":" << e.p.d[3];
+            w.counter(pid, e.cycle, "warp_states", ss.str());
+            break;
+          }
+          case TraceEventKind::Tendency:
+            w.instant(pid, e.cycle,
+                      std::string("tendency: ") +
+                          namedOr(tendencyNames,
+                                  std::size(tendencyNames), e.p.i[0],
+                                  "?"),
+                      intArgs("block_delta", e.p.i[1],
+                              "target_blocks", e.p.i[2]));
+            w.counter(pid, e.cycle, "target_blocks",
+                      intArgs("blocks", e.p.i[2]));
+            break;
+          case TraceEventKind::BlockTarget:
+            w.counter(pid, e.cycle, "target_blocks",
+                      intArgs("blocks", e.p.i[0]));
+            break;
+          case TraceEventKind::CtaPause:
+            w.instant(pid, e.cycle, "cta_pause",
+                      intArgs("slot", e.p.i[0], "block", e.p.i[1]));
+            break;
+          case TraceEventKind::CtaResume:
+            w.instant(pid, e.cycle, "cta_resume",
+                      intArgs("slot", e.p.i[0], "block", e.p.i[1]));
+            break;
+          case TraceEventKind::BlockComplete:
+            w.counter(pid, e.cycle, "blocks_done",
+                      intArgs("blocks", e.p.i[1]));
+            break;
+          case TraceEventKind::VfVote:
+            w.counter(pid, e.cycle, "vf_vote",
+                      intArgs("sm", e.p.i[0], "mem", e.p.i[1]));
+            break;
+          case TraceEventKind::VfStep: {
+            const char *dom =
+                namedOr(clockDomainNames, std::size(clockDomainNames),
+                        e.p.i[0], "clock");
+            w.counter(clocksPid, e.cycle, dom,
+                      intArgs("level", e.p.i[2]));
+            w.instant(clocksPid, e.cycle,
+                      std::string(dom) + ": " +
+                          namedOr(vfStateNames, std::size(vfStateNames),
+                                  e.p.i[1], "?") +
+                          " -> " +
+                          namedOr(vfStateNames, std::size(vfStateNames),
+                                  e.p.i[2], "?"));
+            break;
+          }
+          case TraceEventKind::HighWater:
+            w.counter(pid, e.cycle, "queues",
+                      intArgs("lsu", e.p.i[0], "inject", e.p.i[1],
+                              "mshr", e.p.i[2]));
+            break;
+          case TraceEventKind::GaugeDef:
+            break; // consumed via gaugeNames()
+          case TraceEventKind::Gauge: {
+            const auto id = static_cast<std::size_t>(e.sm);
+            const std::string name =
+                id < gauges.size() && !gauges[id].empty()
+                    ? gauges[id]
+                    : "gauge_" + std::to_string(e.sm);
+            std::ostringstream ss;
+            ss.precision(9);
+            ss << "\"value\":" << e.p.d[0];
+            w.counter(gaugesPid, e.cycle, name, ss.str());
+            break;
+          }
+          case TraceEventKind::Checkpoint:
+            w.instant(devicePid, e.cycle, "checkpoint");
+            break;
+          case TraceEventKind::Restore:
+            w.instant(devicePid, e.cycle, "restore");
+            break;
+          case TraceEventKind::Fork:
+            w.instant(devicePid, e.cycle, "fork");
+            break;
+          case TraceEventKind::Drops:
+            w.instant(pid, e.cycle, "trace_drops",
+                      intArgs("dropped", e.p.i[0]));
+            break;
+        }
+    }
+    w.close();
+}
+
+void
+writeChromeTraceFile(const TraceReader &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeChromeTrace(trace, os);
+    os.flush();
+    if (!os)
+        fatal("I/O error writing Chrome trace '", path, "'");
+}
+
+bool
+chromeTracePath(const std::string &path)
+{
+    const std::string suffix = ".json";
+    return path.size() > suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace equalizer

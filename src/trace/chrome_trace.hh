@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter: renders a loaded trace as a JSON
+ * object Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+ *
+ * Track layout: one process per SM (warp-state counters, target-block
+ * counter, tendency/pause instants), one "device" process (kernel
+ * begin/end spans, VF steps, checkpoint markers) and one "clocks"
+ * process with a counter track per clock domain. Timestamps are SM
+ * cycles, exported through the `ts` microsecond field (1 us == 1
+ * cycle).
+ */
+
+#ifndef EQ_TRACE_CHROME_TRACE_HH
+#define EQ_TRACE_CHROME_TRACE_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.hh"
+
+namespace equalizer
+{
+
+/** Render @p trace as Chrome trace_event JSON onto @p os. */
+void writeChromeTrace(const TraceReader &trace, std::ostream &os);
+
+/** writeChromeTrace() to a file; fatal() on I/O failure. */
+void writeChromeTraceFile(const TraceReader &trace,
+                          const std::string &path);
+
+/** True when @p path names a Chrome JSON trace (".json" suffix). */
+bool chromeTracePath(const std::string &path);
+
+} // namespace equalizer
+
+#endif // EQ_TRACE_CHROME_TRACE_HH

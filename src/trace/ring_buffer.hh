@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The per-SM trace ring: a fixed-capacity FIFO of TraceEvents with
+ * counted-drop overflow semantics.
+ *
+ * Concurrency contract: during the parallel SM phase each ring is
+ * written only by the one worker thread ticking its SM; the serial
+ * drain runs in the epoch barrier after the executor has joined all
+ * workers, so writer and drainer are ordered by the barrier and no
+ * atomics are needed — the ring is lock-free by construction, the same
+ * partitioning argument as the per-SM energy shards
+ * (docs/PARALLELISM.md).
+ */
+
+#ifndef EQ_TRACE_RING_BUFFER_HH
+#define EQ_TRACE_RING_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+namespace equalizer
+{
+
+/** Fixed-capacity event FIFO; overflow drops the newest event. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity)
+        : buf_(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Append one event. When the ring is full the event is dropped and
+     * counted — tracing must never block or slow the simulation, and a
+     * deterministic drop count keeps threads=N traces byte-identical.
+     */
+    void
+    push(const TraceEvent &e)
+    {
+        if (size_ == buf_.size()) {
+            ++drops_;
+            return;
+        }
+        buf_[(head_ + size_) % buf_.size()] = e;
+        ++size_;
+    }
+
+    /** Move every buffered event, FIFO order, into @p out. */
+    void
+    drainInto(std::vector<TraceEvent> &out)
+    {
+        while (size_ > 0) {
+            out.push_back(buf_[head_]);
+            head_ = (head_ + 1) % buf_.size();
+            --size_;
+        }
+        head_ = 0;
+    }
+
+    /** Events dropped since the last takeDrops(). */
+    std::uint64_t drops() const { return drops_; }
+
+    /** Read and reset the drop count (per drain window). */
+    std::uint64_t
+    takeDrops()
+    {
+        const std::uint64_t d = drops_;
+        drops_ = 0;
+        return d;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+/**
+ * Emit helper used at instrumentation sites: compiles away entirely
+ * when the tracing subsystem is disabled (-DEQ_TRACE=OFF), and costs
+ * one pointer test when no ring is attached. @p make is only invoked
+ * when the event will actually be recorded.
+ */
+template <typename F>
+inline void
+traceEmit(TraceRing *ring, F &&make)
+{
+    if constexpr (traceCompiledIn) {
+        if (ring)
+            ring->push(make());
+    } else {
+        (void)ring;
+        (void)make;
+    }
+}
+
+} // namespace equalizer
+
+#endif // EQ_TRACE_RING_BUFFER_HH

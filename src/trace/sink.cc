@@ -1,0 +1,68 @@
+#include "sink.hh"
+
+#include <cstddef>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+std::vector<std::uint8_t>
+MemoryTraceSink::serialize() const
+{
+    TraceHeader h = header_;
+    h.eventCount = events_.size();
+    std::vector<std::uint8_t> out(sizeof(TraceHeader) +
+                                  events_.size() * sizeof(TraceEvent));
+    std::memcpy(out.data(), &h, sizeof(TraceHeader));
+    if (!events_.empty())
+        std::memcpy(out.data() + sizeof(TraceHeader), events_.data(),
+                    events_.size() * sizeof(TraceEvent));
+    return out;
+}
+
+FileTraceSink::FileTraceSink(const std::string &path)
+    : path_(path), os_(path, std::ios::binary)
+{
+    if (!os_)
+        fatal("cannot open trace file '", path, "' for writing");
+}
+
+void
+FileTraceSink::begin(const TraceHeader &header)
+{
+    headerPos_ = os_.tellp();
+    os_.write(reinterpret_cast<const char *>(&header), sizeof(header));
+}
+
+void
+FileTraceSink::events(const TraceEvent *e, std::size_t n)
+{
+    if (n > 0) {
+        os_.write(reinterpret_cast<const char *>(e),
+                  static_cast<std::streamsize>(n * sizeof(TraceEvent)));
+        count_ += n;
+    }
+}
+
+void
+FileTraceSink::finish()
+{
+    // Back-patch the segment's event count so readers can split a
+    // concatenated file exactly (no magic sniffing inside records).
+    if (headerPos_ >= std::streampos(0)) {
+        const std::streampos end = os_.tellp();
+        os_.seekp(headerPos_ +
+                  static_cast<std::streamoff>(
+                      offsetof(TraceHeader, eventCount)));
+        os_.write(reinterpret_cast<const char *>(&count_),
+                  sizeof(count_));
+        os_.seekp(end);
+    }
+    os_.flush();
+    if (!os_)
+        fatal("I/O error while writing trace file '", path_, "'");
+}
+
+} // namespace equalizer

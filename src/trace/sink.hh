@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Trace output sinks: where drained events go.
+ *
+ * The binary trace format is a 24-byte header followed by a flat run of
+ * fixed-size TraceEvent records:
+ *
+ *   u32 magic 'EQTR' | u32 format version | u32 num SMs |
+ *   u32 record size  | u64 reserved       | records...
+ *
+ * A file may contain several header+records segments (a resumed run
+ * appended after its prefix, or plain `cat prefix suffix`); TraceReader
+ * accepts the concatenation.
+ */
+
+#ifndef EQ_TRACE_SINK_HH
+#define EQ_TRACE_SINK_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+namespace equalizer
+{
+
+/** Fixed header opening every binary trace segment. */
+struct TraceHeader
+{
+    std::uint32_t magic = traceMagic;
+    std::uint32_t version = traceFormatVersion;
+    std::uint32_t numSms = 0;
+    std::uint32_t recordSize = sizeof(TraceEvent);
+
+    /**
+     * Records in this segment. FileTraceSink back-patches it in
+     * finish(); 0 means "unterminated segment, records run to the next
+     * header or EOF" (a run that crashed before finishing).
+     */
+    std::uint64_t eventCount = 0;
+
+    static constexpr std::uint32_t traceMagic = 0x52545145; // "EQTR"
+    static constexpr std::uint32_t traceFormatVersion = 1;
+};
+
+static_assert(sizeof(TraceHeader) == 24, "header is part of the format");
+
+/** Consumer of drained trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per attached tracer, before any events. */
+    virtual void begin(const TraceHeader &header) = 0;
+
+    /** A batch of drained events, already in canonical order. */
+    virtual void events(const TraceEvent *e, std::size_t n) = 0;
+
+    /** Final drain happened; flush downstream buffers. */
+    virtual void finish() = 0;
+};
+
+/** Swallows everything (overhead measurements, disabled tracing). */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void begin(const TraceHeader &) override {}
+    void events(const TraceEvent *, std::size_t) override {}
+    void finish() override {}
+};
+
+/** Accumulates events in memory (tests, post-run conversion). */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    void begin(const TraceHeader &header) override { header_ = header; }
+
+    void
+    events(const TraceEvent *e, std::size_t n) override
+    {
+        events_.insert(events_.end(), e, e + n);
+    }
+
+    void finish() override {}
+
+    const TraceHeader &header() const { return header_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** The exact bytes a FileTraceSink would have written. */
+    std::vector<std::uint8_t> serialize() const;
+
+  private:
+    TraceHeader header_;
+    std::vector<TraceEvent> events_;
+};
+
+/** Streams the binary format to a file as drains happen. */
+class FileTraceSink : public TraceSink
+{
+  public:
+    /** fatal() when @p path cannot be opened. */
+    explicit FileTraceSink(const std::string &path);
+
+    void begin(const TraceHeader &header) override;
+    void events(const TraceEvent *e, std::size_t n) override;
+    void finish() override;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream os_;
+    std::streampos headerPos_{-1};
+    std::uint64_t count_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_TRACE_SINK_HH

@@ -1,0 +1,116 @@
+#include "trace_event.hh"
+
+#include <algorithm>
+
+namespace equalizer
+{
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::KernelBegin:
+        return "kernel_begin";
+      case TraceEventKind::KernelEnd:
+        return "kernel_end";
+      case TraceEventKind::EpochSample:
+        return "epoch_sample";
+      case TraceEventKind::Tendency:
+        return "tendency";
+      case TraceEventKind::BlockTarget:
+        return "block_target";
+      case TraceEventKind::CtaPause:
+        return "cta_pause";
+      case TraceEventKind::CtaResume:
+        return "cta_resume";
+      case TraceEventKind::BlockComplete:
+        return "block_complete";
+      case TraceEventKind::VfVote:
+        return "vf_vote";
+      case TraceEventKind::VfStep:
+        return "vf_step";
+      case TraceEventKind::HighWater:
+        return "high_water";
+      case TraceEventKind::GaugeDef:
+        return "gauge_def";
+      case TraceEventKind::Gauge:
+        return "gauge";
+      case TraceEventKind::Checkpoint:
+        return "checkpoint";
+      case TraceEventKind::Restore:
+        return "restore";
+      case TraceEventKind::Fork:
+        return "fork";
+      case TraceEventKind::Drops:
+        return "drops";
+    }
+    return "unknown";
+}
+
+TraceEvent
+makeDeviceEvent(TraceEventKind kind, Cycle cycle)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.sm = -1;
+    return e;
+}
+
+TraceEvent
+makeSmEvent(TraceEventKind kind, Cycle cycle, int sm, std::int64_t i0,
+            std::int64_t i1, std::int64_t i2, std::int64_t i3)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.sm = sm;
+    e.p.i[0] = i0;
+    e.p.i[1] = i1;
+    e.p.i[2] = i2;
+    e.p.i[3] = i3;
+    return e;
+}
+
+TraceEvent
+makeSampleEvent(TraceEventKind kind, Cycle cycle, int sm, double d0,
+                double d1, double d2, double d3)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.sm = sm;
+    e.p.d[0] = d0;
+    e.p.d[1] = d1;
+    e.p.d[2] = d2;
+    e.p.d[3] = d3;
+    return e;
+}
+
+TraceEvent
+makeStringEvent(TraceEventKind kind, Cycle cycle, const char *s, int sm)
+{
+    TraceEvent e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.sm = sm;
+    // The payload was zeroed by the constructor; copy at most 31 chars
+    // so the last byte stays NUL (and trailing bytes stay deterministic
+    // for byte-identical trace comparisons).
+    const std::size_t n =
+        std::min<std::size_t>(std::strlen(s), sizeof(e.p.str) - 1);
+    std::memcpy(e.p.str, s, n);
+    return e;
+}
+
+std::string
+traceEventString(const TraceEvent &e)
+{
+    const std::size_t n = sizeof(e.p.str);
+    std::size_t len = 0;
+    while (len < n && e.p.str[len] != '\0')
+        ++len;
+    return std::string(e.p.str, len);
+}
+
+} // namespace equalizer

@@ -1,0 +1,151 @@
+#include "trace_reader.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+bool
+isTraceMarker(TraceEventKind k)
+{
+    return k == TraceEventKind::Checkpoint ||
+           k == TraceEventKind::Restore || k == TraceEventKind::Fork;
+}
+
+TraceReader
+TraceReader::fromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    TraceReader r;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < sizeof(TraceHeader))
+            fatal("truncated trace: ", bytes.size() - pos,
+                  " trailing bytes are no header");
+        TraceHeader h;
+        std::memcpy(&h, bytes.data() + pos, sizeof(h));
+        if (h.magic != TraceHeader::traceMagic)
+            fatal("not a trace segment at offset ", pos,
+                  " (bad magic)");
+        if (h.version != TraceHeader::traceFormatVersion)
+            fatal("trace format version ", h.version,
+                  " is not supported (this build reads version ",
+                  TraceHeader::traceFormatVersion, ")");
+        if (h.recordSize != sizeof(TraceEvent))
+            fatal("trace record size ", h.recordSize,
+                  " does not match this build's ", sizeof(TraceEvent));
+        if (r.segments_ == 0) {
+            r.header_ = h;
+        } else if (h.numSms != r.header_.numSms) {
+            fatal("concatenated trace segments disagree on SM count (",
+                  r.header_.numSms, " vs ", h.numSms, ")");
+        }
+        ++r.segments_;
+        pos += sizeof(TraceHeader);
+
+        if (h.eventCount > 0) {
+            // Finished segment: the header says exactly how many
+            // records follow.
+            const std::size_t need =
+                static_cast<std::size_t>(h.eventCount) *
+                sizeof(TraceEvent);
+            if (bytes.size() - pos < need)
+                fatal("trace segment claims ", h.eventCount,
+                      " records but only ",
+                      (bytes.size() - pos) / sizeof(TraceEvent),
+                      " are present");
+            for (std::uint64_t i = 0; i < h.eventCount; ++i) {
+                TraceEvent e;
+                std::memcpy(&e, bytes.data() + pos, sizeof(e));
+                r.events_.push_back(e);
+                pos += sizeof(TraceEvent);
+            }
+            continue;
+        }
+
+        // Unterminated segment (count never back-patched): records run
+        // to the end of the input; it must be the last segment.
+        const std::size_t rest = bytes.size() - pos;
+        if (rest % sizeof(TraceEvent) != 0)
+            fatal("trace ends mid-record (", rest % sizeof(TraceEvent),
+                  " dangling bytes)");
+        while (pos < bytes.size()) {
+            TraceEvent e;
+            std::memcpy(&e, bytes.data() + pos, sizeof(e));
+            r.events_.push_back(e);
+            pos += sizeof(TraceEvent);
+        }
+    }
+    return r;
+}
+
+TraceReader
+TraceReader::fromFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open trace file '", path, "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    if (!is.good() && !is.eof())
+        fatal("I/O error reading trace file '", path, "'");
+    return fromBytes(bytes);
+}
+
+std::vector<TraceEvent>
+TraceReader::smEvents(int sm) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &e : events_) {
+        if (e.kind == TraceEventKind::Gauge ||
+            e.kind == TraceEventKind::GaugeDef) {
+            continue; // sm field is a gauge id there
+        }
+        if (e.sm == sm)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceReader::deviceEvents() const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &e : events_) {
+        if (e.sm == -1 || e.kind == TraceEventKind::Gauge ||
+            e.kind == TraceEventKind::GaugeDef) {
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceReader::eventsWithoutMarkers() const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &e : events_)
+        if (!isTraceMarker(e.kind))
+            out.push_back(e);
+    return out;
+}
+
+std::vector<std::string>
+TraceReader::gaugeNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &e : events_) {
+        if (e.kind != TraceEventKind::GaugeDef)
+            continue;
+        const auto id = static_cast<std::size_t>(e.sm);
+        if (names.size() <= id)
+            names.resize(id + 1);
+        names[id] = traceEventString(e);
+    }
+    return names;
+}
+
+} // namespace equalizer

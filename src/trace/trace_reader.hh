@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TraceReader: loads binary trace files back into memory.
+ *
+ * A file may hold several header+records segments — a checkpointed
+ * prefix with a resumed suffix appended, or a plain `cat` of two trace
+ * files. The reader validates every header and exposes the merged
+ * event stream plus per-SM and device-level views.
+ */
+
+#ifndef EQ_TRACE_TRACE_READER_HH
+#define EQ_TRACE_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hh"
+#include "trace/trace_event.hh"
+
+namespace equalizer
+{
+
+/** In-memory view of a loaded trace. */
+class TraceReader
+{
+  public:
+    /** Parse @p bytes (one or more segments); fatal() on corruption. */
+    static TraceReader fromBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** Load a trace file; fatal() on I/O or format errors. */
+    static TraceReader fromFile(const std::string &path);
+
+    const TraceHeader &header() const { return header_; }
+    int segments() const { return segments_; }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events of one SM, in emission order. */
+    std::vector<TraceEvent> smEvents(int sm) const;
+
+    /** Device-level events (sm = -1), in emission order. */
+    std::vector<TraceEvent> deviceEvents() const;
+
+    /**
+     * Events with checkpoint/restore/fork markers removed — the view
+     * under which a prefix+suffix trace equals an uninterrupted one
+     * (docs/TRACING.md).
+     */
+    std::vector<TraceEvent> eventsWithoutMarkers() const;
+
+    /** Gauge id -> name map reconstructed from GaugeDef events. */
+    std::vector<std::string> gaugeNames() const;
+
+  private:
+    TraceHeader header_;
+    int segments_ = 0;
+    std::vector<TraceEvent> events_;
+};
+
+/** True for the Checkpoint/Restore/Fork lifecycle markers. */
+bool isTraceMarker(TraceEventKind k);
+
+} // namespace equalizer
+
+#endif // EQ_TRACE_TRACE_READER_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Tracer: per-SM lock-free event rings, a serial emit path for
+ * barrier-phase components (Equalizer, the frequency manager, clock
+ * domains), per-epoch gauge sampling, and the serial drain that hands
+ * canonically-ordered batches to a TraceSink.
+ *
+ * Ordering contract (the determinism guarantee): events reach the sink
+ * in simulated-time order — serial emits in program order, then at
+ * every epoch boundary the gauges followed by each SM's ring drained
+ * in SM index order. None of this depends on which worker thread
+ * ticked an SM, so a threads=N trace is byte-identical to threads=1
+ * (tests/trace_test.cc asserts it).
+ */
+
+#ifndef EQ_TRACE_TRACER_HH
+#define EQ_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/gauge.hh"
+#include "trace/ring_buffer.hh"
+#include "trace/sink.hh"
+#include "trace/trace_event.hh"
+
+namespace equalizer
+{
+
+/** Tunables of one Tracer. */
+struct TraceConfig
+{
+    /** Per-SM ring capacity in KiB (knob: trace_buf_kb). */
+    std::size_t bufKb = 64;
+
+    /**
+     * Cycles between drains / gauge samples (knob: trace_epoch).
+     * Must be a power of two — the hot-loop boundary test is a mask.
+     */
+    Cycle epochCycles = 4096;
+};
+
+/** The epoch-level tracing engine (docs/TRACING.md). */
+class Tracer
+{
+  public:
+    /** @param sink Non-owning; must outlive the tracer. */
+    Tracer(TraceConfig cfg, TraceSink &sink);
+    ~Tracer();
+
+    /**
+     * Size the per-SM rings and write the segment header. Called by
+     * GpuTop::setTracer(); re-attaching with the same SM count is a
+     * no-op so one tracer can span a whole sweep (parent and forked
+     * children share the rings — only one GPU runs at a time).
+     */
+    void attach(int num_sms);
+
+    bool attached() const { return !rings_.empty(); }
+    int numSms() const { return static_cast<int>(rings_.size()); }
+
+    /** The ring an SM writes into during the parallel phase. */
+    TraceRing *ring(int sm)
+    {
+        return rings_[static_cast<std::size_t>(sm)].get();
+    }
+
+    /** True when @p cycle is a drain boundary (one mask test). */
+    bool epochBoundary(Cycle cycle) const
+    {
+        return (cycle & epochMask_) == 0;
+    }
+
+    Cycle epochCycles() const { return epochMask_ + 1; }
+
+    /** Serial-phase emit: append directly to the pending batch. */
+    void
+    emit(const TraceEvent &e)
+    {
+        if constexpr (traceCompiledIn)
+            pending_.push_back(e);
+    }
+
+    /** Live metrics sampled once per epoch. */
+    GaugeRegistry &gauges() { return gauges_; }
+
+    /**
+     * The serial epoch drain: sample gauges, drain every ring in SM
+     * index order (recording per-SM drop counts), and hand the batch
+     * to the sink. Must run in the barrier phase.
+     */
+    void drainEpoch(Cycle cycle);
+
+    /** Ring drain without gauge sampling (kernel end, checkpoints). */
+    void drainRings(Cycle cycle);
+
+    /** Final drain and sink finish. Idempotent; ~Tracer calls it. */
+    void finish();
+
+    std::uint64_t eventsRecorded() const { return recorded_; }
+    std::uint64_t eventsDropped() const { return dropped_; }
+
+  private:
+    void flushPending();
+
+    TraceConfig cfg_;
+    TraceSink &sink_;
+    Cycle epochMask_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+    std::vector<TraceEvent> pending_;
+    GaugeRegistry gauges_;
+    Cycle lastCycle_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool headerWritten_ = false;
+    bool finished_ = false;
+};
+
+} // namespace equalizer
+
+#endif // EQ_TRACE_TRACER_HH

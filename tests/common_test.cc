@@ -65,6 +65,56 @@ TEST(ConfigDeath, MalformedOptionIsFatal)
                 "malformed option");
 }
 
+// The documented knob registry: canonicalization, aliases, usage.
+
+std::vector<Knob>
+sampleKnobs()
+{
+    return {
+        {"warm_start", "baseline warm-up invocations", {}},
+        {"export", "write metrics", {"json"}},
+        {"threads", "worker threads", {}},
+    };
+}
+
+TEST(Knobs, CanonicalNamesParseSilently)
+{
+    const Config cfg = Config::fromArgs(
+        {"warm_start=4", "export=out.json"}, sampleKnobs());
+    EXPECT_EQ(cfg.getInt("warm_start", 0), 4);
+    EXPECT_EQ(cfg.getString("export", ""), "out.json");
+}
+
+TEST(Knobs, HyphenSpellingCanonicalizesToUnderscore)
+{
+    const Config cfg =
+        Config::fromArgs({"warm-start=2"}, sampleKnobs());
+    EXPECT_EQ(cfg.getInt("warm_start", 0), 2);
+    EXPECT_FALSE(cfg.contains("warm-start"));
+}
+
+TEST(Knobs, AliasStoresUnderCanonicalName)
+{
+    const Config cfg = Config::fromArgs({"json=m.json"}, sampleKnobs());
+    EXPECT_EQ(cfg.getString("export", ""), "m.json");
+    EXPECT_FALSE(cfg.contains("json"));
+}
+
+TEST(KnobsDeath, UnknownKnobSuggestsCanonicalNames)
+{
+    EXPECT_EXIT(Config::fromArgs({"thread=2"}, sampleKnobs()),
+                ::testing::ExitedWithCode(1),
+                "unknown option 'thread'.*did you mean 'threads'");
+}
+
+TEST(Knobs, UsageListsEveryKnobAndAliases)
+{
+    const std::string usage = Config::knobUsage(sampleKnobs());
+    EXPECT_NE(usage.find("warm_start"), std::string::npos);
+    EXPECT_NE(usage.find("worker threads"), std::string::npos);
+    EXPECT_NE(usage.find("[aliases: json]"), std::string::npos);
+}
+
 TEST(ConfigDeath, NonIntegerValueIsFatal)
 {
     Config cfg;

@@ -1,10 +1,12 @@
 /**
  * @file
- * Tests for the CSV/JSON metrics exporter.
+ * Tests for the unified ExportSink API and the deprecated
+ * MetricsExporter shim over it.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "harness/export.hh"
@@ -99,6 +101,132 @@ TEST(Exporter, FractionsAreNormalized)
     ex.writeCsv(os);
     // waiting_frac = 500/1000 = 0.5 must appear in the row.
     EXPECT_NE(os.str().find("0.5"), std::string::npos);
+}
+
+TEST(ExportSink, FormatNamesRoundTrip)
+{
+    EXPECT_EQ(exportFormatFromName("csv"), ExportFormat::Csv);
+    EXPECT_EQ(exportFormatFromName("json"), ExportFormat::Json);
+    EXPECT_EQ(exportFormatFromName("trace-event"),
+              ExportFormat::TraceEvent);
+    EXPECT_EQ(exportFormatFromName("trace_event"),
+              ExportFormat::TraceEvent);
+    for (auto f : {ExportFormat::Csv, ExportFormat::Json,
+                   ExportFormat::TraceEvent})
+        EXPECT_EQ(exportFormatFromName(exportFormatName(f)), f);
+}
+
+TEST(ExportSink, FormatInferredFromPathSuffix)
+{
+    const auto fb = ExportFormat::Csv;
+    EXPECT_EQ(exportFormatForPath("a/b.csv", fb), ExportFormat::Csv);
+    EXPECT_EQ(exportFormatForPath("out.json", fb), ExportFormat::Json);
+    EXPECT_EQ(exportFormatForPath("run.trace.json", fb),
+              ExportFormat::TraceEvent);
+    EXPECT_EQ(exportFormatForPath("plain.txt", fb), fb);
+    EXPECT_EQ(exportFormatForPath("", ExportFormat::Json),
+              ExportFormat::Json);
+}
+
+TEST(ExportSink, UnknownFormatNameIsFatal)
+{
+    EXPECT_EXIT(exportFormatFromName("xml"), testing::ExitedWithCode(1),
+                "unknown export format");
+}
+
+TEST(ExportSink, CsvCarriesMetaAsComments)
+{
+    ExportSink sink({"threads", "wall_seconds"});
+    sink.meta("bench", ExportCell::str("parallel_scaling"));
+    sink.meta("sms", ExportCell::integer(15));
+    sink.row({ExportCell::integer(4), ExportCell::num(1.25)});
+    std::ostringstream os;
+    sink.write(os, ExportFormat::Csv);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# bench = parallel_scaling\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("# sms = 15\n"), std::string::npos);
+    EXPECT_NE(out.find("threads,wall_seconds\n"), std::string::npos);
+    EXPECT_NE(out.find("4,1.25\n"), std::string::npos);
+}
+
+TEST(ExportSink, JsonObjectHasMetaAndRows)
+{
+    ExportSink sink({"name", "value"});
+    sink.meta("kernel", ExportCell::str("sgemm"));
+    sink.row({ExportCell::str("ipc"), ExportCell::num(0.75)});
+    std::ostringstream os;
+    sink.write(os, ExportFormat::Json);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_NE(out.find("\"meta\": {\"kernel\": \"sgemm\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"rows\": ["), std::string::npos);
+    EXPECT_NE(out.find("{\"name\": \"ipc\", \"value\": 0.75}"),
+              std::string::npos);
+}
+
+TEST(ExportSink, MetaOverwritesExistingKey)
+{
+    ExportSink sink({"c"});
+    sink.meta("k", ExportCell::str("old"));
+    sink.meta("k", ExportCell::str("new"));
+    std::ostringstream os;
+    sink.write(os, ExportFormat::Json);
+    EXPECT_EQ(os.str().find("old"), std::string::npos);
+    EXPECT_NE(os.str().find("\"k\": \"new\""), std::string::npos);
+}
+
+TEST(ExportSink, RowArityMismatchIsFatal)
+{
+    ExportSink sink({"a", "b"});
+    EXPECT_EXIT(sink.row({ExportCell::integer(1)}),
+                testing::ExitedWithCode(1), "cells");
+}
+
+TEST(ExportSink, TraceEventFormatEmitsCounters)
+{
+    ExportSink sink({"point", "ipc"});
+    sink.row({ExportCell::str("a"), ExportCell::num(0.5)});
+    sink.row({ExportCell::str("b"), ExportCell::num(0.75)});
+    std::ostringstream os;
+    sink.write(os, ExportFormat::TraceEvent);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+    // One counter per numeric column per row, at ts = row index; the
+    // quoted identity column is skipped.
+    EXPECT_NE(out.find("\"ph\": \"C\", \"pid\": 0, \"tid\": 0, "
+                       "\"ts\": 0, \"name\": \"ipc\", \"args\": "
+                       "{\"value\": 0.5}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"ts\": 1, \"name\": \"ipc\", \"args\": "
+                       "{\"value\": 0.75}"),
+              std::string::npos);
+    EXPECT_EQ(out.find("\"name\": \"point\""), std::string::npos);
+}
+
+TEST(ExportSink, JsonEscapesQuotesInStrings)
+{
+    ExportSink sink({"name"});
+    sink.row({ExportCell::str("he said \"hi\"")});
+    std::ostringstream os;
+    sink.write(os, ExportFormat::Json);
+    EXPECT_NE(os.str().find("he said \\\"hi\\\""), std::string::npos);
+}
+
+TEST(ExportSink, MetricsTableMatchesShimOutput)
+{
+    // The deprecated MetricsExporter must stay byte-identical to an
+    // ExportSink metrics table without metadata.
+    MetricsExporter shim;
+    shim.add(MetricsRow{"kmn", "baseline", -1, sampleMetrics()});
+    ExportSink sink = ExportSink::metricsTable();
+    sink.addMetrics("kmn", "baseline", -1, sampleMetrics());
+
+    std::ostringstream shim_csv, sink_csv;
+    shim.writeCsv(shim_csv);
+    sink.write(sink_csv, ExportFormat::Csv);
+    EXPECT_EQ(shim_csv.str(), sink_csv.str());
 }
 
 } // namespace

@@ -237,22 +237,27 @@ TEST(Stats, RegistrySnapshotAndResetKeepsNames)
 
 TEST(ConfigDeath, UnknownKeySuggestsCloseMatches)
 {
-    EXPECT_EXIT(Config::fromArgs({"kernal=lbm"}, {"kernel", "policy"}),
+    EXPECT_EXIT(Config::fromArgs(
+                    {"kernal=lbm"},
+                    std::vector<std::string>{"kernel", "policy"}),
                 ::testing::ExitedWithCode(1),
                 "unknown option 'kernal'.*did you mean 'kernel'");
 }
 
 TEST(ConfigDeath, UnknownKeyListsRosterWhenNothingIsClose)
 {
-    EXPECT_EXIT(Config::fromArgs({"zzz=1"}, {"kernel", "policy"}),
+    EXPECT_EXIT(Config::fromArgs(
+                    {"zzz=1"},
+                    std::vector<std::string>{"kernel", "policy"}),
                 ::testing::ExitedWithCode(1),
                 "known options: kernel policy");
 }
 
 TEST(Config, KnownKeysPassStrictParsing)
 {
-    const Config cfg =
-        Config::fromArgs({"kernel=lbm", "sms=8"}, {"kernel", "sms"});
+    const Config cfg = Config::fromArgs(
+        {"kernel=lbm", "sms=8"},
+        std::vector<std::string>{"kernel", "sms"});
     EXPECT_EQ(cfg.getString("kernel", ""), "lbm");
     EXPECT_EQ(cfg.getInt("sms", 0), 8);
 }
