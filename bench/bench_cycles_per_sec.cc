@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Simulator-throughput benchmark backing the CI perf gate: short
+ * fixed-workload runs of one roster kernel per paper category
+ * (sgemm = compute, lbm = memory, kmn = cache), reporting simulated SM
+ * cycles per wall-clock second and the fraction of SM cycles the
+ * cycle-skipping fast path jumped over (docs/FAST_PATH.md).
+ *
+ * The workloads are fully deterministic, so the simulated cycle counts
+ * are fixed and only wall-clock time varies between machines. CI runs
+ * this in Release and compares cycles/sec against the committed
+ * BENCH_BASELINE.json via scripts/check_bench_baseline.py (fail on a
+ * >25% regression, warn at >10%). Refresh the baseline with:
+ *
+ *   build/bench/bench_cycles_per_sec export=BENCH_BASELINE.json
+ *
+ * Usage:
+ *   bench_cycles_per_sec [kernels=a,b,c] [threads=<n>] [repeats=<n>]
+ *                        [fast_path=0|1] [compare=0|1] [export=<path>]
+ *   repeats=N times each kernel N times and keeps the best wall time
+ *   (simulated results are identical across repeats by construction).
+ *   compare=1 additionally times each kernel with fast_path=0 and
+ *   reports the fast-path wall-clock speedup.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "harness/export.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+namespace
+{
+
+std::vector<std::string>
+parseKernelList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(tok);
+    return out;
+}
+
+/** Best-of-@p repeats wall seconds plus the (identical) run result. */
+struct TimedRun
+{
+    double wallSeconds = 0.0;
+    AppRunResult result;
+};
+
+TimedRun
+timeKernel(const GpuConfig &gcfg, int threads, int repeats,
+           const ZooEntry &entry)
+{
+    TimedRun out;
+    for (int i = 0; i < repeats; ++i) {
+        // A fresh runner per repeat: the runner's result cache would
+        // otherwise satisfy repeats 2..N without simulating.
+        ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
+        const auto start = std::chrono::steady_clock::now();
+        auto r = runner.run(entry.params, policies::baseline());
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (i == 0 || wall.count() < out.wallSeconds)
+            out.wallSeconds = wall.count();
+        out.result = std::move(r);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        std::vector<Knob>{
+            {"kernels", "comma-separated roster kernels to time", {}},
+            {"threads", "simulation worker threads (1 = serial)", {}},
+            {"repeats", "timings per kernel; best is reported", {}},
+            {"fast_path", "enable the cycle-skipping fast path", {}},
+            {"compare",
+             "also time fast_path=0 and report the speedup", {}},
+            {"export", "write the throughput table (.csv/.json)",
+             {"json"}},
+        });
+    const std::vector<std::string> kernels =
+        parseKernelList(cfg.getString("kernels", "sgemm,lbm,kmn"));
+    const int threads = static_cast<int>(cfg.getInt("threads", 1));
+    const int repeats =
+        std::max(1, static_cast<int>(cfg.getInt("repeats", 3)));
+    const bool fast_path = cfg.getBool("fast_path", true);
+    const bool compare = cfg.getBool("compare", false);
+    const std::string export_path = cfg.getString("export", "");
+
+    GpuConfig gcfg = GpuConfig::gtx480();
+    gcfg.fastPath = fast_path;
+
+    banner("simulator throughput (threads=" + std::to_string(threads) +
+           ", repeats=" + std::to_string(repeats) +
+           ", fast_path=" + std::string(fast_path ? "1" : "0") + ")");
+
+    std::vector<std::string> columns = {"kernel", "wall_seconds",
+                                        "sm_cycles", "cycles_per_sec",
+                                        "fast_forwarded_cycles",
+                                        "ff_ratio"};
+    std::vector<std::string> headers = {"kernel",  "wall s",
+                                        "cycles",  "cycles/s",
+                                        "ff",      "ff ratio"};
+    if (compare) {
+        columns.insert(columns.end(),
+                       {"slow_wall_seconds", "fast_speedup"});
+        headers.insert(headers.end(), {"slow s", "speedup"});
+    }
+    ExportSink sink(columns);
+    sink.meta("bench", ExportCell::str("cycles_per_sec"));
+    sink.meta("threads", ExportCell::integer(threads));
+    sink.meta("repeats", ExportCell::integer(repeats));
+    sink.meta("fast_path", ExportCell::integer(fast_path ? 1 : 0));
+
+    TablePrinter t(headers);
+    for (const auto &name : kernels) {
+        const ZooEntry &entry = KernelZoo::byName(name);
+        progress("timing " + name);
+        const TimedRun run = timeKernel(gcfg, threads, repeats, entry);
+
+        const auto &m = run.result.total;
+        const double cps =
+            run.wallSeconds > 0.0
+                ? static_cast<double>(m.smCycles) / run.wallSeconds
+                : 0.0;
+        const double ff_ratio =
+            m.smCycles
+                ? static_cast<double>(m.fastForwardedCycles) /
+                      static_cast<double>(m.smCycles)
+                : 0.0;
+
+        std::vector<ExportCell> cells = {
+            ExportCell::str(name), ExportCell::num(run.wallSeconds),
+            ExportCell::integer(static_cast<std::int64_t>(m.smCycles)),
+            ExportCell::num(cps),
+            ExportCell::integer(
+                static_cast<std::int64_t>(m.fastForwardedCycles)),
+            ExportCell::num(ff_ratio)};
+        std::vector<std::string> row = {
+            name, fmt(run.wallSeconds, 3), std::to_string(m.smCycles),
+            fmt(cps, 0), std::to_string(m.fastForwardedCycles),
+            fmt(ff_ratio, 3)};
+
+        if (compare) {
+            GpuConfig slow_cfg = gcfg;
+            slow_cfg.fastPath = false;
+            progress("timing " + name + " (fast_path=0)");
+            const TimedRun slow =
+                timeKernel(slow_cfg, threads, repeats, entry);
+            if (slow.result.total.smCycles != m.smCycles) {
+                fatal("fast/slow cycle mismatch on ", name, ": ",
+                      m.smCycles, " vs ", slow.result.total.smCycles);
+            }
+            const double speedup = run.wallSeconds > 0.0
+                                       ? slow.wallSeconds /
+                                             run.wallSeconds
+                                       : 0.0;
+            cells.insert(cells.end(),
+                         {ExportCell::num(slow.wallSeconds),
+                          ExportCell::num(speedup)});
+            row.insert(row.end(), {fmt(slow.wallSeconds, 3),
+                                   fmt(speedup, 2) + "x"});
+        }
+        sink.row(cells);
+        t.row(row);
+    }
+    t.print();
+
+    if (!export_path.empty()) {
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
+        progress("wrote " + export_path);
+    }
+    return 0;
+}

@@ -18,6 +18,9 @@
  *   epoch=<cycles> hysteresis=<n> sample=<cycles>
  *   threads=<n> (simulation worker threads; 0 = hardware concurrency,
  *                1 = serial; results are identical for any value)
+ *   fast_path=<0|1> (cycle-skipping fast path, default on; results are
+ *                bit-identical either way — fast_path=0 is the slow
+ *                oracle for debugging, see docs/FAST_PATH.md)
  *   warm_start=<n> (simulate the first n invocations under the
  *                baseline policy, fork the warmed GPU state, and run
  *                the rest under the requested policy; the report then
@@ -108,6 +111,8 @@ knobs()
         {"hysteresis", "Equalizer hysteresis threshold", {}},
         {"sample", "warp-state sample interval in cycles", {}},
         {"threads", "simulation worker threads (0 = hardware)", {}},
+        {"fast_path",
+         "cycle-skipping fast path (1 = on, 0 = slow oracle)", {}},
         {"warm_start", "baseline invocations to warm up before the "
                        "requested policy", {}},
         {"warm_mode", "warm-up handoff: fork or rerun", {}},
@@ -163,6 +168,7 @@ main(int argc, char **argv)
         cfg.getDouble("mem_mhz", gcfg.memNominalHz / 1e6) * 1e6;
     if (cfg.getString("scheduler", "lrr") == "gto")
         gcfg.scheduler = SchedulerPolicy::GreedyThenOldest;
+    gcfg.fastPath = cfg.getBool("fast_path", gcfg.fastPath);
 
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
     const int threads = static_cast<int>(cfg.getInt("threads", 0));
@@ -260,6 +266,8 @@ main(int argc, char **argv)
     timing.row({"memory cycles", std::to_string(m.memCycles)});
     timing.row({"instructions", std::to_string(m.instructions)});
     timing.row({"IPC (all SMs)", fmt(m.ipc(), 3)});
+    timing.row({"fast-forwarded cycles",
+                std::to_string(m.fastForwardedCycles)});
     timing.row({"invocations",
                 std::to_string(r.invocations.size())});
     timing.print();

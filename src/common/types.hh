@@ -23,6 +23,14 @@ using Addr = std::uint64_t;
 /** Femtoseconds per second, for frequency/period conversions. */
 inline constexpr Tick ticksPerSecond = 1'000'000'000'000'000ULL;
 
+/**
+ * Sentinel cycle meaning "no scheduled event on this timeline". Used by
+ * the fast path's next-wakeup queries (docs/FAST_PATH.md): a component
+ * with no self-scheduled state change reports noWakeup, and min-reduces
+ * against real deadlines leave it in place only when nothing is pending.
+ */
+inline constexpr Cycle noWakeup = ~Cycle{0};
+
 /** Identifier of a streaming multiprocessor. */
 using SmId = int;
 

@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "common/types.hh"
+
 namespace equalizer
 {
 
@@ -41,6 +43,21 @@ class GpuController
      * load the controller may re-install its hooks on @p gpu.
      */
     virtual void visitControllerState(StateVisitor &, GpuTop &) {}
+
+    /**
+     * Fast-path hook (docs/FAST_PATH.md): the earliest SM cycle
+     * strictly greater than @p now at which this controller's
+     * onSmCycle hook might do anything, or noWakeup when it only acts
+     * at kernel boundaries. The cycle-skipping fast path never skips
+     * past the returned cycle's edge, so a periodic controller sees
+     * exactly the edges it would on the slow path. The default returns
+     * 0 — a standing veto that disables cycle skipping — so policies
+     * that act on arbitrary cycles stay bit-exact without opting in.
+     */
+    virtual Cycle nextActionCycle(const GpuTop &, Cycle /*now*/) const
+    {
+        return 0;
+    }
 };
 
 } // namespace equalizer

@@ -47,6 +47,17 @@ struct GpuConfig
 
     SchedulerPolicy scheduler = SchedulerPolicy::LooseRoundRobin;
 
+    /**
+     * Cycle-skipping fast path (docs/FAST_PATH.md): when every warp on
+     * every SM is provably stalled with a known wakeup bound, jump the
+     * clocks to the next event instead of ticking through dead cycles.
+     * Bit-identical to the slow path by construction; turn off to
+     * debug a suspected divergence. Deliberately NOT part of the
+     * checkpoint config fingerprint — fast and slow runs of the same
+     * machine produce interchangeable (byte-identical) checkpoints.
+     */
+    bool fastPath = true;
+
     MemConfig mem = MemConfig::gtx480();
 
     /** Default GTX480-like configuration. */

@@ -1,9 +1,42 @@
 #include "gpu_top.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/log.hh"
 
 namespace equalizer
 {
+
+namespace
+{
+
+/**
+ * Tick of the clock edge that brings @p domain from its current cycle
+ * @p dom_now to cycle @p c (requires c > dom_now). noWakeup maps to the
+ * far future without overflowing the multiply.
+ */
+Tick
+edgeTickOf(const ClockDomain &domain, Cycle c, Cycle dom_now)
+{
+    if (c == noWakeup)
+        return std::numeric_limits<Tick>::max();
+    return domain.nextEdge() +
+           static_cast<Tick>(c - dom_now - 1) * domain.period();
+}
+
+/** Number of @p domain edges that fire at ticks strictly before @p t. */
+Cycle
+edgesBefore(const ClockDomain &domain, Tick t)
+{
+    if (domain.nextEdge() >= t)
+        return 0;
+    return static_cast<Cycle>((t - 1 - domain.nextEdge()) /
+                              domain.period()) +
+           1;
+}
+
+} // namespace
 
 GpuTop::GpuTop(GpuConfig cfg, PowerConfig power)
     : cfg_(cfg), energy_(power), smDomain_("sm", cfg.smNominalHz),
@@ -197,6 +230,7 @@ GpuTop::beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles)
     run_.before = takeSnapshot();
     run_.cycleLimit = smDomain_.cycle() + max_sm_cycles;
     run_.active = true;
+    ffAtRunStart_ = fastForwardedCycles_;
 
     if (tracer_)
         tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
@@ -206,10 +240,105 @@ GpuTop::beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles)
     distributeBlocks();
 }
 
+bool
+GpuTop::tryFastForward()
+{
+    // A per-cycle observer may read (or mutate) anything; never skip
+    // an edge it would have seen.
+    if (observer_)
+        return false;
+
+    const Cycle sm_now = smDomain_.cycle();
+    if (sm_now < ffBackoffUntil_)
+        return false;
+    // Deterministic backoff: a failed probe in a busy phase doubles the
+    // re-probe distance (capped low — stall onsets must not be missed
+    // by much). Purely a probe-cost throttle: skips are transparent, so
+    // when the probe runs has no effect on any simulated quantity.
+    const auto fail = [&] {
+        ffBackoffUntil_ = sm_now + ffBackoff_;
+        ffBackoff_ = std::min<Cycle>(ffBackoff_ * 2, 32);
+        return false;
+    };
+
+    // The controller's next possible action bounds the span; the
+    // default (0) is a standing veto for policies without the hook.
+    const Cycle ctrl_bound =
+        controller_ ? controller_->nextActionCycle(*this, sm_now)
+                    : noWakeup;
+    if (ctrl_bound <= sm_now)
+        return fail();
+
+    // Per-SM stall probes in fixed index order, so the decision (and
+    // the min-reduce below) is identical at any threads= setting.
+    Cycle sm_wakeup = noWakeup;
+    for (int s = 0; s < numSms(); ++s) {
+        const auto chk = sms_[static_cast<std::size_t>(s)]->checkStalled();
+        if (!chk.skippable)
+            return fail();
+        if (chk.wakeup <= sm_now)
+            fatal("fast path: SM ", s, " reported stall wakeup ",
+                  chk.wakeup, " at cycle ", sm_now,
+                  " (not in the future); rerun with fast_path=0 and "
+                  "diff traces — see docs/FAST_PATH.md");
+        sm_wakeup = std::min(sm_wakeup, chk.wakeup);
+    }
+
+    // Safety net: pending work the barrier phase would distribute means
+    // the machine is not quiescent. (Normally unreachable — the last
+    // distributeBlocks() already satisfied every willing SM.)
+    if (gwde_.hasBlocks())
+        for (const auto &sm : sms_)
+            if (sm->wantsBlock())
+                return fail();
+
+    const Cycle mem_now = memDomain_.cycle();
+    const Cycle mem_ev = memSystem_.nextEventCycle(mem_now);
+    if (mem_ev <= mem_now)
+        return fail(); // hard veto: a matured response awaits an SM tick
+
+    Cycle sm_bound = std::min(sm_wakeup, ctrl_bound);
+    if (tracer_ && tracer_->attached()) {
+        const Cycle e = tracer_->epochCycles();
+        sm_bound = std::min(sm_bound, (sm_now / e + 1) * e);
+    }
+    // The edge after the limit must run slowly so the panic fires.
+    sm_bound = std::min(sm_bound, run_.cycleLimit + 1);
+
+    // Convert both bounds to global time and skip every edge strictly
+    // before the earliest, leaving that edge for the slow path. VF
+    // transitions apply on an edge at-or-after their due tick, so
+    // clamping to the due tick keeps the span transition-free.
+    Tick tstar = std::min(edgeTickOf(smDomain_, sm_bound, sm_now),
+                          edgeTickOf(memDomain_, mem_ev, mem_now));
+    if (smDomain_.transitionPending())
+        tstar = std::min(tstar, smDomain_.pendingAt());
+    if (memDomain_.transitionPending())
+        tstar = std::min(tstar, memDomain_.pendingAt());
+
+    const Cycle n_mem = edgesBefore(memDomain_, tstar);
+    const Cycle n_sm = edgesBefore(smDomain_, tstar);
+    if (n_mem == 0 && n_sm == 0)
+        return fail();
+
+    memDomain_.advanceCycles(n_mem);
+    memSystem_.skipCycles(mem_now, n_mem);
+    smDomain_.advanceCycles(n_sm);
+    if (n_sm > 0)
+        for (const auto &sm : sms_)
+            sm->skipCycles(n_sm);
+    fastForwardedCycles_ += n_sm;
+    ffBackoff_ = 1;
+    ffBackoffUntil_ = 0;
+    return true;
+}
+
 RunMetrics
 GpuTop::finishRun(const KernelLaunch &kernel)
 {
     while (!kernelDone()) {
+        if (cfg_.fastPath && tryFastForward())
+            continue;
         if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
             memDomain_.advance();
             energy_.setDomainStates(smDomain_.state(), memDomain_.state());
@@ -298,6 +427,7 @@ GpuTop::finishRun(const KernelLaunch &kernel)
     m.l2Misses = after.l2Misses - before.l2Misses;
     m.dramAccesses = after.dramAccesses - before.dramAccesses;
     m.dramRowHits = after.dramRowHits - before.dramRowHits;
+    m.fastForwardedCycles = fastForwardedCycles_ - ffAtRunStart_;
     return m;
 }
 

@@ -221,6 +221,14 @@ class GpuTop
     /** True when the (restored) state is inside a kernel invocation. */
     bool midKernel() const { return run_.active; }
 
+    /**
+     * SM cycles jumped over by the cycle-skipping fast path since
+     * construction (docs/FAST_PATH.md). Deliberately not serialized and
+     * not exported — it differs between fast- and slow-path runs, which
+     * must stay byte-comparable everywhere else.
+     */
+    Cycle fastForwardedCycles() const { return fastForwardedCycles_; }
+
     /** Name of the in-flight (or most recent) launch. */
     const std::string &currentKernelName() const
     {
@@ -262,6 +270,18 @@ class GpuTop
     void distributeBlocks();
     bool kernelDone() const;
     void tickSms(Cycle mem_now);
+
+    /**
+     * The cycle-skipping fast path (docs/FAST_PATH.md): when every SM
+     * is provably stalled and the memory system provably quiet, compute
+     * a conservative global bound (SM wakeups, memory deadlines,
+     * controller actions, tracer epoch boundaries, the cycle limit, VF
+     * transitions) and fire all clock edges strictly before it at once,
+     * replaying their per-cycle bookkeeping analytically. Returns true
+     * when at least one edge was skipped. Bit-identical to ticking by
+     * construction; the caller re-enters the normal loop either way.
+     */
+    bool tryFastForward();
     void beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles);
     RunMetrics finishRun(const KernelLaunch &kernel);
     void traceEpoch(Cycle cycle);
@@ -283,6 +303,14 @@ class GpuTop
     /// Serialized identity of currentKernel_ (pointers don't persist).
     std::string currentKernelName_;
     RunContext run_;
+
+    // --- Fast-path bookkeeping (none of it serialized: skips are
+    // transparent, so the skip pattern may differ across a
+    // checkpoint/restore while every simulated quantity stays equal).
+    Cycle fastForwardedCycles_ = 0;
+    Cycle ffAtRunStart_ = 0;  ///< counter value at beginRun()
+    Cycle ffBackoffUntil_ = 0;///< SM cycle before which probes are skipped
+    Cycle ffBackoff_ = 1;     ///< current backoff span (doubles to 32)
 };
 
 } // namespace equalizer

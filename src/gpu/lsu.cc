@@ -67,6 +67,40 @@ LoadStoreUnit::tick(Cycle sm_now)
         queue_.pop_front();
 }
 
+bool
+LoadStoreUnit::wouldIdle() const
+{
+    if (queue_.empty())
+        return true;
+    const Entry &head = queue_.front();
+    EQ_ASSERT(head.next < head.inst.transactionCount,
+              "LSU queue holds a completed instruction");
+    const Addr line =
+        head.inst.lineAddrs[static_cast<std::size_t>(head.next)];
+    if (head.inst.texture)
+        return memSystem_.texInjectQueue(sm_).full();
+    return l1_.accessWouldBlock(line, head.inst.write);
+}
+
+void
+LoadStoreUnit::skipCycles(Cycle n)
+{
+    // Each skipped cycle begins with beginCycle(); the gate is already
+    // false whenever the SM is skippable (an accept implies an issuing
+    // warp, which needs a refill next cycle), but reset it anyway so
+    // the replay mirrors the slow path unconditionally.
+    acceptedThisCycle_ = false;
+    if (queue_.empty())
+        return;
+
+    const Entry &head = queue_.front();
+    blockedCycles_ += n;
+    if (!head.inst.texture) {
+        // A blocked non-texture head re-probes the L1 every cycle.
+        l1_.skipBlockedCycles(n);
+    }
+}
+
 std::vector<WarpId>
 LoadStoreUnit::drainHitWakeups(Cycle sm_now)
 {

@@ -62,6 +62,40 @@ class LoadStoreUnit
     bool empty() const { return queue_.empty(); }
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /** Queue at capacity (the gate that turns ready warps X_mem). */
+    bool
+    queueFull() const
+    {
+        return static_cast<int>(queue_.size()) >= cfg_.lsuQueueDepth;
+    }
+
+    // --- Fast-path support (docs/FAST_PATH.md).
+
+    /**
+     * Whether tick() would make no progress next cycle: the queue is
+     * empty, or the head's next transaction would be rejected by its
+     * destination (texture queue full / L1 blocked). Pure probe.
+     */
+    bool wouldIdle() const;
+
+    /**
+     * Earliest SM cycle at which a buffered L1-hit wakeup matures, or
+     * noWakeup when none are in flight.
+     */
+    Cycle
+    nextHitWakeup() const
+    {
+        return hitWakeups_.empty() ? noWakeup : hitWakeups_.headReadyAt();
+    }
+
+    /**
+     * Replay @p n idle cycles: beginCycle()'s accept-gate reset, plus —
+     * when a head is present and blocked — the per-cycle blocked retry
+     * (one blocked cycle and one L1 access probe per cycle). Only valid
+     * when wouldIdle() held and nothing changed since.
+     */
+    void skipCycles(Cycle n);
+
     /**
      * Deepest queue occupancy since the last call; resets to the
      * current depth. Sampled per tracer epoch (HighWater events).

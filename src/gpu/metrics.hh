@@ -44,6 +44,15 @@ struct RunMetrics
     /// Fraction of DRAM partition-time spent interface-powered-down.
     double dramPowerDownFraction = 0.0;
 
+    /**
+     * SM cycles the cycle-skipping fast path jumped over instead of
+     * ticking (docs/FAST_PATH.md). Diagnostic only: excluded from the
+     * export tables and epoch gauges so fast- and slow-path runs stay
+     * byte-comparable; 0 when fastPath is off (and after a mid-kernel
+     * restore, which resets the counter).
+     */
+    Cycle fastForwardedCycles = 0;
+
     /// Time at each VF state, per domain (for Figure 9).
     std::array<Tick, numVfStates> smResidency{};
     std::array<Tick, numVfStates> memResidency{};
@@ -81,6 +90,7 @@ struct RunMetrics
         l2Misses += o.l2Misses;
         dramAccesses += o.dramAccesses;
         dramRowHits += o.dramRowHits;
+        fastForwardedCycles += o.fastForwardedCycles;
         // Time-weighted combine of the power-down fraction.
         const Cycle mc = memCycles; // already includes o.memCycles
         if (mc > 0) {

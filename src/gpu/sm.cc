@@ -40,6 +40,8 @@ StreamingMultiprocessor::setKernel(const KernelLaunch *kernel)
 
     l1_.flush();
     lsu_.reset();
+    debugStallWakeup_.reset();
+    invalidateStallCache();
 }
 
 int
@@ -111,6 +113,7 @@ StreamingMultiprocessor::assignBlock(BlockId block)
         w.stream = kernel_->makeWarpStream(block, wib);
         warpRetiredCounted_[static_cast<std::size_t>(wid)] = false;
     }
+    invalidateStallCache();
 }
 
 void
@@ -118,6 +121,7 @@ StreamingMultiprocessor::setTargetBlocks(int target)
 {
     targetBlocks_ = std::clamp(target, 1, blockSlots_);
     applyPauseState();
+    invalidateStallCache();
 }
 
 void
@@ -444,6 +448,13 @@ StreamingMultiprocessor::schedulePass()
 void
 StreamingMultiprocessor::tick(Cycle mem_now)
 {
+    // Per-SM fast tick (docs/FAST_PATH.md): replay a memoized stalled
+    // cycle in O(1) instead of re-scanning every warp. Decisions are
+    // SM-local (plus this SM's response-queue head, stable during the
+    // parallel phase), so results are identical at any threads= count.
+    if (cfg_.fastPath && tryFastTick(mem_now))
+        return;
+
     ++cycle_;
     lsu_.beginCycle();
 
@@ -482,6 +493,212 @@ StreamingMultiprocessor::tick(Cycle mem_now)
 
     if (residentBlocks() > 0)
         ++activeCycles_;
+}
+
+bool
+StreamingMultiprocessor::tryFastTick(Cycle mem_now)
+{
+    if (!stallCache_.valid) {
+        // Lazy build; the gates mirror checkStalled().
+        if (debugStallWakeup_ || memIssueFilter_ ||
+            lastCounts_.issued > 0 || !lsu_.wouldIdle())
+            return false;
+
+        Cycle wakeup = lsu_.nextHitWakeup();
+        WarpStateCounts counts;
+        const int nw = static_cast<int>(warps_.size());
+        for (WarpId wid = 0; wid < nw; ++wid) {
+            const auto outcome = stalledOutcome(wid, counts, wakeup);
+            if (!outcome)
+                return false;
+            // Freeze the outcome for the span; constant until the
+            // cache is invalidated (same uniformity argument as
+            // skipCycles()). Harmless if we bail below — the slow
+            // pass overwrites every outcome.
+            warps_[static_cast<std::size_t>(wid)].outcome = *outcome;
+        }
+        stallCache_.valid = true;
+        stallCache_.wakeup = wakeup;
+        stallCache_.counts = counts;
+    }
+
+    // Per-cycle revalidation, all O(1): the wakeup cycle itself must
+    // run the full tick, as must any cycle where a matured response
+    // awaits draining or the LSU head could move — the memory system
+    // keeps running between SM ticks (unlike under the whole-device
+    // fast path, which freezes it), so a head blocked on downstream
+    // queue room can unblock on any memory tick.
+    if (cycle_ + 1 >= stallCache_.wakeup) {
+        invalidateStallCache();
+        return false;
+    }
+    if (memSystem_.hasDrainableResponse(id_, mem_now)) {
+        invalidateStallCache();
+        return false;
+    }
+    if (!lsu_.wouldIdle()) {
+        invalidateStallCache();
+        return false;
+    }
+
+    ++cycle_;
+    lsu_.skipCycles(1); // beginCycle() plus the blocked-head retry
+    const int nw = static_cast<int>(warps_.size());
+    if (nw > 0)
+        rrStart_ = (rrStart_ + 1) % nw;
+    // greedyWarp_ and smemBusyUntil_ only move when something issues.
+    outcomeTotals_ += stallCache_.counts;
+    lastCounts_ = stallCache_.counts;
+    if (residentBlocks() > 0)
+        ++activeCycles_;
+    return true;
+}
+
+std::optional<WarpOutcome>
+StreamingMultiprocessor::stalledOutcome(WarpId wid, WarpStateCounts &counts,
+                                        Cycle &wakeup) const
+{
+    const auto &w = warps_[static_cast<std::size_t>(wid)];
+    const Cycle c1 = cycle_ + 1; // the cycle being probed
+
+    if (!w.active) {
+        ++counts.unaccounted;
+        return WarpOutcome::Unaccounted;
+    }
+    if (w.paused)
+        return WarpOutcome::Paused;
+    if (!w.hasInst && !w.streamDone && !w.atBarrier)
+        return std::nullopt; // needs an instruction refill
+
+    if (w.streamDone) {
+        if (w.pendingLoads > 0) {
+            // Retirement blocked on outstanding loads; their return is
+            // a memory-system event, which bounds the span elsewhere.
+            ++counts.active;
+            ++counts.waiting;
+            return WarpOutcome::Waiting;
+        }
+        if (!warpRetiredCounted_[static_cast<std::size_t>(wid)])
+            return std::nullopt; // would retire (and maybe free a block)
+        return WarpOutcome::Done;
+    }
+
+    if (w.atBarrier) {
+        // Barrier release needs other warps to park or retire — both
+        // vetoed for the whole SM — so the warp stays put all span.
+        ++counts.active;
+        ++counts.barrier;
+        return WarpOutcome::Barrier;
+    }
+
+    if (w.inst.op == OpClass::Sync)
+        return std::nullopt; // would park at the barrier (a mutation)
+
+    const bool load_stall = w.inst.dependsOnLoads && w.pendingLoads > 0;
+    if (load_stall) {
+        ++counts.active;
+        ++counts.waiting;
+        return WarpOutcome::Waiting; // memory events bound the span
+    }
+    if (w.inst.dependsOnPrev && c1 < w.readyAt) {
+        ++counts.active;
+        ++counts.waiting;
+        wakeup = std::min(wakeup, w.readyAt);
+        return WarpOutcome::Waiting;
+    }
+
+    // The warp is ready. In a fully-stalled pass nothing else issues,
+    // so it sees the full issue-slot and register-port budgets; if even
+    // those would let it through, the SM is not skippable.
+    if (w.inst.op == OpClass::Mem) {
+        if (cfg_.issueWidth > 0 && cfg_.regReadPorts >= 2 &&
+            !lsu_.queueFull())
+            return std::nullopt; // would issue into the LSU
+        ++counts.active;
+        ++counts.excessMem;
+        return WarpOutcome::ExcessMem;
+    }
+    if (w.inst.op == OpClass::Shared) {
+        if (cfg_.issueWidth > 0 && cfg_.regReadPorts >= 2) {
+            if (c1 >= smemBusyUntil_)
+                return std::nullopt; // shared-memory pipe is free
+            wakeup = std::min(wakeup, smemBusyUntil_);
+        }
+        ++counts.active;
+        ++counts.excessAlu;
+        return WarpOutcome::ExcessAlu;
+    }
+    // Arithmetic (ALU or SFU).
+    if (cfg_.issueWidth > 0 && cfg_.regReadPorts >= 3)
+        return std::nullopt; // nothing stops an arithmetic issue
+    ++counts.active;
+    ++counts.excessAlu;
+    return WarpOutcome::ExcessAlu;
+}
+
+StreamingMultiprocessor::StallCheck
+StreamingMultiprocessor::checkStalled() const
+{
+    if (debugStallWakeup_)
+        return StallCheck{true, *debugStallWakeup_};
+    StallCheck res;
+    if (stallCache_.valid) {
+        // The memoized verdict is maintained by invalidation (external
+        // mutations) and by tick()'s per-cycle revalidation, so it
+        // answers the whole-device probe in O(1) — except that memory
+        // ticks since the last SM tick may have freed downstream queue
+        // room, so the LSU idleness must be re-probed fresh.
+        if (!lsu_.wouldIdle())
+            return res;
+        res.skippable = true;
+        res.wakeup = stallCache_.wakeup;
+        return res;
+    }
+    if (memIssueFilter_)
+        return res; // external gate may flip any cycle: never skip
+    if (lastCounts_.issued > 0)
+        return res; // an issued warp needs a refill next cycle
+    if (!lsu_.wouldIdle())
+        return res; // the LSU head would move a transaction
+
+    Cycle wakeup = lsu_.nextHitWakeup();
+    WarpStateCounts counts;
+    const int n = static_cast<int>(warps_.size());
+    for (WarpId wid = 0; wid < n; ++wid)
+        if (!stalledOutcome(wid, counts, wakeup))
+            return res;
+    res.skippable = true;
+    res.wakeup = wakeup;
+    return res;
+}
+
+void
+StreamingMultiprocessor::skipCycles(Cycle n)
+{
+    if (n == 0)
+        return;
+
+    WarpStateCounts counts;
+    Cycle unused = noWakeup;
+    const int nw = static_cast<int>(warps_.size());
+    for (WarpId wid = 0; wid < nw; ++wid) {
+        const auto outcome = stalledOutcome(wid, counts, unused);
+        EQ_ASSERT(outcome.has_value(),
+                  "skipCycles() on SM ", id_, " with unstalled warp ", wid);
+        warps_[static_cast<std::size_t>(wid)].outcome = *outcome;
+    }
+
+    cycle_ += n;
+    lsu_.skipCycles(n); // covers beginCycle() and the blocked-head retry
+    if (nw > 0)
+        rrStart_ = static_cast<int>((static_cast<Cycle>(rrStart_) + n) %
+                                    static_cast<Cycle>(nw));
+    // greedyWarp_ only moves when something issues; smemBusyUntil_ only
+    // when a Shared op issues — both are untouched by a stalled span.
+    outcomeTotals_.addScaled(counts, static_cast<std::int64_t>(n));
+    lastCounts_ = counts;
+    if (residentBlocks() > 0)
+        activeCycles_ += n;
 }
 
 WarpStateCounts
@@ -524,6 +741,7 @@ StreamingMultiprocessor::visitState(StateVisitor &v)
     v.field(lsu_);
     if (!v.saving())
         kernel_ = nullptr; // rebindKernel() must follow for mid-kernel
+    invalidateStallCache();
     v.endSection();
 }
 

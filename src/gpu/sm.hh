@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
@@ -85,6 +86,55 @@ class StreamingMultiprocessor
     /** Advance one SM cycle. @param mem_now current memory-domain cycle. */
     void tick(Cycle mem_now);
 
+    // --- Fast-path support (docs/FAST_PATH.md).
+
+    /** Result of checkStalled(). */
+    struct StallCheck
+    {
+        /** Every warp is provably stalled through the next cycle. */
+        bool skippable = false;
+
+        /**
+         * Earliest SM cycle at which some warp might unstall for an
+         * SM-local reason (scoreboard release, shared-memory pipe
+         * drain, L1 hit-wakeup maturing); noWakeup when every stall is
+         * bound by memory-system events or epoch boundaries instead.
+         * Meaningful only when skippable.
+         */
+        Cycle wakeup = noWakeup;
+    };
+
+    /**
+     * Whether the next tick would provably change nothing except the
+     * per-cycle bookkeeping that skipCycles() replays. Conservative:
+     * any warp that might issue, refill, retire or park — or an LSU
+     * head that would move a transaction, or an installed mem-issue
+     * filter — reports not-skippable. Pure probe.
+     */
+    StallCheck checkStalled() const;
+
+    /**
+     * Replay @p n fully-stalled ticks: cycle count, scheduler rotation,
+     * warp outcomes and their per-cycle counter accumulation, LSU
+     * blocked-head bookkeeping and active-cycle accounting. Only valid
+     * when checkStalled() reported skippable and every replayed cycle
+     * is strictly below its wakeup (and any memory-side bound).
+     */
+    void skipCycles(Cycle n);
+
+    /**
+     * Test seam: force checkStalled() to report skippable with the
+     * given wakeup, bypassing the real probe. Lets tests exercise the
+     * fast path's wakeup-consistency check (which aborts on a wakeup
+     * in the past). reset by setKernel().
+     */
+    void
+    debugSetStallWakeup(Cycle wakeup)
+    {
+        debugStallWakeup_ = wakeup;
+        invalidateStallCache();
+    }
+
     /** No resident blocks. */
     bool idle() const { return residentBlocks() == 0; }
 
@@ -105,6 +155,7 @@ class StreamingMultiprocessor
     void setMemIssueFilter(MemIssueFilter filter)
     {
         memIssueFilter_ = std::move(filter);
+        invalidateStallCache();
     }
 
     /**
@@ -160,10 +211,32 @@ class StreamingMultiprocessor
     int firstWarpOf(int slot) const { return slot * warpsPerBlock_; }
 
     void schedulePass();
+
+    /**
+     * The outcome a fully-stalled schedulePass() would record for warp
+     * @p wid next cycle (accumulating its counter contribution into
+     * @p counts and lowering @p wakeup when the stall has a known
+     * SM-local release cycle), or nullopt when the warp might make
+     * progress — issue, refill, retire or park at a barrier.
+     */
+    std::optional<WarpOutcome> stalledOutcome(WarpId wid,
+                                              WarpStateCounts &counts,
+                                              Cycle &wakeup) const;
+
     void refillInstruction(WarpSlot &w);
     void handleRetirement(WarpId wid);
     void releaseBarriers();
     void applyPauseState();
+
+    /**
+     * Replay one memoized stalled cycle in O(1) instead of running the
+     * full tick (docs/FAST_PATH.md). Returns false — leaving all state
+     * untouched — when the cache is invalid, the wakeup cycle arrived,
+     * or a matured memory response awaits draining.
+     */
+    bool tryFastTick(Cycle mem_now);
+
+    void invalidateStallCache() { stallCache_.valid = false; }
 
     const GpuConfig &cfg_;
     SmId id_;
@@ -192,6 +265,25 @@ class StreamingMultiprocessor
     BlockCompleteHook onBlockComplete_;
     MemIssueFilter memIssueFilter_;
     TraceRing *traceRing_ = nullptr;
+
+    /// Test-only checkStalled() override (not serialized).
+    std::optional<Cycle> debugStallWakeup_;
+
+    /**
+     * Memoized stall verdict backing the O(1) fast tick
+     * (docs/FAST_PATH.md). While valid, every warp's outcome is frozen
+     * at the cached counts and the cached wakeup bounds the span; any
+     * external mutation that could unstall a warp (block assignment,
+     * target changes, policy hooks, restores) must invalidate it.
+     * Deliberately not serialized: pure memoization, rebuilt lazily.
+     */
+    struct StallCache
+    {
+        bool valid = false;
+        Cycle wakeup = noWakeup;
+        WarpStateCounts counts;
+    };
+    StallCache stallCache_;
 
     std::uint64_t issued_ = 0;
     std::uint64_t activeCycles_ = 0;

@@ -39,6 +39,23 @@ struct WarpStateCounts
         unaccounted += o.unaccounted;
         return *this;
     }
+
+    /**
+     * Accumulate @p n identical samples at once — the fast path folds a
+     * span of stalled cycles into one call (docs/FAST_PATH.md).
+     */
+    WarpStateCounts &
+    addScaled(const WarpStateCounts &o, std::int64_t n)
+    {
+        active += o.active * n;
+        waiting += o.waiting * n;
+        issued += o.issued * n;
+        excessAlu += o.excessAlu * n;
+        excessMem += o.excessMem * n;
+        barrier += o.barrier * n;
+        unaccounted += o.unaccounted * n;
+        return *this;
+    }
 };
 
 } // namespace equalizer

@@ -67,6 +67,25 @@ L1Cache::access(WarpId warp, Addr line_addr, bool write)
     return Result::MissIssued;
 }
 
+bool
+L1Cache::accessWouldBlock(Addr line_addr, bool write) const
+{
+    if (write)
+        return missQueue_.full();
+    if (tags_.probe(line_addr))
+        return false;
+    if (mshrs_.tracking(line_addr))
+        return mshrs_.mergeListFull(line_addr);
+    return mshrs_.full() || missQueue_.full();
+}
+
+void
+L1Cache::skipBlockedCycles(Cycle n)
+{
+    energy_.recordRepeated(sm_, EnergyEvent::L1Access, n);
+    blocked_ += n;
+}
+
 std::vector<WarpId>
 L1Cache::fill(Addr line_addr)
 {

@@ -72,6 +72,21 @@ class L1Cache
     /** Probe tags without touching replacement state. */
     bool probe(Addr line_addr) const { return tags_.probe(line_addr); }
 
+    /**
+     * Whether access() would return Blocked, without any side effect
+     * (no energy, no counters, no LRU touch). The fast path's per-SM
+     * stall check uses this to confirm the LSU head cannot progress.
+     */
+    bool accessWouldBlock(Addr line_addr, bool write) const;
+
+    /**
+     * Replay @p n blocked retries of the head transaction: the slow
+     * path burns one L1Access energy event and one blocked cycle per
+     * retry, with no other state change. Deposits energy one event at
+     * a time so the joules match the per-cycle adds bit-for-bit.
+     */
+    void skipBlockedCycles(Cycle n);
+
     /** Register a hook observing evictions (used by CCWS). */
     void
     setEvictionHook(EvictionHook hook)

@@ -53,12 +53,55 @@ class MemorySystem
     /** Advance the memory system by one memory-domain cycle. */
     void tick(Cycle now);
 
+    // --- Fast-path support (docs/FAST_PATH.md).
+
+    /**
+     * Earliest memory cycle at which anything in the memory system
+     * might make progress. Three regimes:
+     *  - @p now: hard veto. A matured response sits at the head of a
+     *    per-SM response queue; SM ticks consume those on the SM clock,
+     *    outside this subsystem's view, so no cycle — SM or memory —
+     *    may be skipped.
+     *  - @p now + 1: the very next memory tick moves work (partition
+     *    progress or interconnect transfer); memory cannot skip, but SM
+     *    edges before that memory edge are unaffected by it.
+     *  - a later cycle / noWakeup: every memory tick strictly below the
+     *    bound is a verified no-progress tick, and no SM tick before
+     *    the bound's memory edge can observe a memory-side change.
+     * Pure probe.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replay @p n no-progress tick(now+1 .. now+n) calls analytically:
+     * tick count, DRAM queue-depth sampling (depths are frozen over a
+     * verified span), per-partition idle accounting and blocked-head
+     * retries, and the round-robin arbitration pointers that advance
+     * every cycle regardless of traffic.
+     */
+    void skipCycles(Cycle now, Cycle n);
+
     /**
      * Drain up to @p max_n completed loads destined for @p sm whose
      * network delay has elapsed by memory cycle @p mem_now. Called from
      * the SM clock domain (the caller supplies the memory clock).
      */
     std::vector<MemAccess> drainResponses(SmId sm, Cycle mem_now, int max_n);
+
+    /**
+     * Whether drainResponses(sm, mem_now, ...) would return anything:
+     * the SM's response queue holds a head whose network delay has
+     * elapsed. Pure probe; the per-SM fast tick checks it every cycle
+     * (it is the one memory-side event that can unstall a cached-stall
+     * SM). Safe to call from the parallel SM phase: only SM @p sm reads
+     * its queue there, and pushes happen on memory ticks.
+     */
+    bool
+    hasDrainableResponse(SmId sm, Cycle mem_now) const
+    {
+        return responseQueues_[static_cast<std::size_t>(sm)]->headReady(
+            mem_now);
+    }
 
     /** Invalidate all L2 partitions (kernel boundary). */
     void flushCaches();

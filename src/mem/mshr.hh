@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "sim/state.hh"
 
@@ -85,6 +86,19 @@ class MshrFile
     tracking(Addr line_addr) const
     {
         return pending_.count(line_addr) > 0;
+    }
+
+    /**
+     * Whether a merge onto the tracked entry for @p line_addr would be
+     * rejected (merge list at capacity). The line must be tracked.
+     */
+    bool
+    mergeListFull(Addr line_addr) const
+    {
+        auto it = pending_.find(line_addr);
+        EQ_ASSERT(it != pending_.end(),
+                  "mergeListFull() on an untracked line");
+        return static_cast<int>(it->second.size()) >= maxMerges_;
     }
 
     int outstanding() const { return static_cast<int>(pending_.size()); }

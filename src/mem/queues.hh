@@ -63,6 +63,14 @@ class BoundedQueue
         return items_.front();
     }
 
+    /** Read-only front element; queue must be non-empty. */
+    const T &
+    front() const
+    {
+        EQ_ASSERT(!items_.empty(), "front() on empty queue");
+        return items_.front();
+    }
+
     /** Pop and return the front element, or nullopt when empty. */
     std::optional<T>
     pop()
@@ -133,6 +141,27 @@ class DelayQueue
     {
         EQ_ASSERT(!items_.empty(), "front() on empty delay queue");
         return items_.front().item;
+    }
+
+    /** Read-only peek at the head element; it must exist. */
+    const T &
+    front() const
+    {
+        EQ_ASSERT(!items_.empty(), "front() on empty delay queue");
+        return items_.front().item;
+    }
+
+    /**
+     * Cycle at which the head element becomes visible; the queue must
+     * be non-empty. Ready times are non-decreasing, so this is the
+     * earliest deadline in the queue — the fast path's wakeup source
+     * for in-flight pipe traffic.
+     */
+    Cycle
+    headReadyAt() const
+    {
+        EQ_ASSERT(!items_.empty(), "headReadyAt() on empty delay queue");
+        return items_.front().readyAt;
     }
 
     /** Pop the head element if ready at @p now. */

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "sim/state.hh"
 #include "sim/vf.hh"
@@ -79,6 +80,24 @@ class ClockDomain
      * @return The tick of the edge that fired.
      */
     Tick advance();
+
+    /**
+     * Fire the next @p n edges at once — bit-identical to n advance()
+     * calls, provided no pending transition falls due within the span
+     * (asserted). The fast path uses this to jump over verified-idle
+     * stretches; residency integrates over the whole span so static
+     * energy is unaffected (docs/FAST_PATH.md).
+     */
+    void advanceCycles(Cycle n);
+
+    /** Tick at which the pending transition may apply (must be pending). */
+    Tick pendingAt() const
+    {
+        EQ_ASSERT(pending_.has_value(), "pendingAt() without a pending "
+                                        "transition on domain '",
+                  name_, "'");
+        return pending_->at;
+    }
 
     /** Total simulated time this domain has spent in @p s, in ticks. */
     Tick residency(VfState s) const { return residency_[index(s)]; }

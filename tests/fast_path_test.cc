@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the cycle-skipping fast path (docs/FAST_PATH.md): bit
+ * identity of metrics, energy and traces against the slow path at any
+ * thread count, engagement of the whole-device fast-forward on a fully
+ * stalled machine, checkpointing out of a skip-heavy run, replication
+ * of time-averaged memory gauges, and the wakeup-sanity fatal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpu/controller.hh"
+#include "gpu/gpu_top.hh"
+#include "harness/export.hh"
+#include "harness/policies.hh"
+#include "harness/runner.hh"
+#include "kernels/kernel_zoo.hh"
+#include "sim/parallel_executor.hh"
+#include "test_streams.hh"
+#include "trace/sink.hh"
+#include "trace/tracer.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+using testing::ScriptedKernel;
+using testing::aluInst;
+
+KernelInfo
+info(int blocks, int wcta, int max_blocks, const char *name = "fp")
+{
+    KernelInfo k;
+    k.name = name;
+    k.totalBlocks = blocks;
+    k.warpsPerBlock = wcta;
+    k.maxBlocksPerSm = max_blocks;
+    return k;
+}
+
+GpuConfig
+smallGpu(int sms = 4, bool fast_path = true)
+{
+    GpuConfig cfg = GpuConfig::gtx480();
+    cfg.numSms = sms;
+    cfg.fastPath = fast_path;
+    return cfg;
+}
+
+/**
+ * A kernel whose warps spend nearly all their time stalled on SFU
+ * result latency with zero memory traffic: long spans where every SM
+ * is stalled with a known wakeup and the memory system is quiescent —
+ * exactly the regime the whole-device fast-forward targets.
+ */
+ScriptedKernel
+sfuChainKernel(int blocks, int insts = 200)
+{
+    WarpInstruction sfu;
+    sfu.op = OpClass::Sfu;
+    sfu.dependsOnPrev = true;
+    std::vector<WarpInstruction> script(
+        static_cast<std::size_t>(insts), sfu);
+    return ScriptedKernel(info(blocks, /*wcta=*/1, /*max_blocks=*/1),
+                          std::move(script));
+}
+
+/** Exported-JSON form of one run (every figure-visible field). */
+std::string
+jsonOf(const std::string &kernel, const AppRunResult &r)
+{
+    MetricsExporter e;
+    e.addResult(kernel, r.policy, r.total, r.invocations);
+    std::ostringstream os;
+    e.writeJson(os);
+    return os.str();
+}
+
+/** Equalizer tuned so sampling and epochs churn within short runs. */
+PolicySpec
+churnyEqualizer()
+{
+    EqualizerConfig ecfg;
+    ecfg.epochCycles = 512;
+    ecfg.sampleInterval = 64;
+    return policies::equalizer(EqualizerMode::Performance, ecfg);
+}
+
+/** Run a zoo application with the fast path on or off. */
+AppRunResult
+runApp(const std::string &kernel, int threads, bool fast_path,
+       const PolicySpec &policy)
+{
+    GpuConfig cfg = GpuConfig::gtx480();
+    cfg.fastPath = fast_path;
+    ExperimentRunner runner(cfg, PowerConfig::gtx480(), threads);
+    return runner.runByName(kernel, policy);
+}
+
+/** Same, recording the run into a trace; returns the serialized bytes. */
+std::vector<std::uint8_t>
+tracedRunBytes(const std::string &kernel, int threads, bool fast_path)
+{
+    TraceConfig tcfg;
+    tcfg.epochCycles = 512;
+    MemoryTraceSink sink;
+    Tracer tracer(tcfg, sink);
+    GpuConfig cfg = GpuConfig::gtx480();
+    cfg.fastPath = fast_path;
+    ExperimentRunner runner(cfg, PowerConfig::gtx480(), threads);
+    runner.setTracer(&tracer);
+    runner.runByName(kernel, churnyEqualizer());
+    tracer.finish();
+    return sink.serialize();
+}
+
+// --- Bit identity against the slow path --------------------------------
+
+struct IdentityCase
+{
+    const char *kernel;
+    int threads;
+};
+
+class FastPathIdentity : public ::testing::TestWithParam<IdentityCase>
+{
+};
+
+/**
+ * The core guarantee: with the fast path enabled, every exported metric
+ * of a full application run — cycles, instructions, energy joules,
+ * cache/DRAM counters, warp-outcome totals, VF residencies — is byte
+ * identical to the slow path's, per invocation and in aggregate, at
+ * any thread count.
+ */
+TEST_P(FastPathIdentity, MetricsMatchSlowPath)
+{
+    const auto [kernel, threads] = GetParam();
+    const AppRunResult fast =
+        runApp(kernel, threads, true, policies::baseline());
+    const AppRunResult slow =
+        runApp(kernel, threads, false, policies::baseline());
+
+    EXPECT_EQ(jsonOf(kernel, fast), jsonOf(kernel, slow));
+
+    // Spot-check the raw fields behind the JSON, including exact double
+    // equality on the energy totals (the fast path replays the same
+    // per-event deposits, not an analytic approximation).
+    EXPECT_EQ(fast.total.smCycles, slow.total.smCycles);
+    EXPECT_EQ(fast.total.memCycles, slow.total.memCycles);
+    EXPECT_EQ(fast.total.instructions, slow.total.instructions);
+    EXPECT_EQ(fast.total.dynamicJoules, slow.total.dynamicJoules);
+    EXPECT_EQ(fast.total.staticJoules, slow.total.staticJoules);
+    EXPECT_EQ(fast.total.l1Misses, slow.total.l1Misses);
+    EXPECT_EQ(fast.total.dramAccesses, slow.total.dramAccesses);
+    EXPECT_EQ(fast.total.dramPowerDownFraction,
+              slow.total.dramPowerDownFraction);
+    EXPECT_EQ(fast.total.outcomeTotals.waiting,
+              slow.total.outcomeTotals.waiting);
+    EXPECT_EQ(fast.total.outcomeTotals.issued,
+              slow.total.outcomeTotals.issued);
+
+    // The diagnostic skip counter is the one permitted difference.
+    EXPECT_EQ(slow.total.fastForwardedCycles, 0u);
+}
+
+/** Same guarantee under a live Equalizer controller. */
+TEST_P(FastPathIdentity, MetricsMatchSlowPathUnderEqualizer)
+{
+    const auto [kernel, threads] = GetParam();
+    const AppRunResult fast =
+        runApp(kernel, threads, true, churnyEqualizer());
+    const AppRunResult slow =
+        runApp(kernel, threads, false, churnyEqualizer());
+    EXPECT_EQ(jsonOf(kernel, fast), jsonOf(kernel, slow));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelZoo, FastPathIdentity,
+    ::testing::Values(IdentityCase{"sgemm", 1}, IdentityCase{"sgemm", 4},
+                      IdentityCase{"lbm", 1}, IdentityCase{"lbm", 4},
+                      IdentityCase{"kmn", 1}, IdentityCase{"kmn", 4}),
+    [](const ::testing::TestParamInfo<IdentityCase> &i) {
+        return std::string(i.param.kernel) + "_t" +
+               std::to_string(i.param.threads);
+    });
+
+/**
+ * Epoch traces are part of the identity contract too: a traced run
+ * (which clamps whole-device skips to epoch boundaries) must serialize
+ * to the same bytes with the fast path on and off.
+ */
+TEST(FastPathTrace, TraceBytesMatchSlowPath)
+{
+    EXPECT_EQ(tracedRunBytes("lbm", 1, true),
+              tracedRunBytes("lbm", 1, false));
+    EXPECT_EQ(tracedRunBytes("kmn", 4, true),
+              tracedRunBytes("kmn", 4, false));
+}
+
+// --- Engagement --------------------------------------------------------
+
+/**
+ * On a machine where every warp is stalled on a known-latency result
+ * and the memory system is idle, the whole-device fast-forward must
+ * actually engage (FastForwardedCycles > 0) — and still reproduce the
+ * slow path's metrics exactly, including the time-averaged DRAM queue
+ * gauge that skipCycles() replicates analytically.
+ */
+TEST(FastPathEngagement, FastForwardsAllStalledMachine)
+{
+    auto run_once = [](bool fast_path) {
+        GpuTop gpu(smallGpu(4, fast_path));
+        ScriptedKernel k = sfuChainKernel(4);
+        const RunMetrics m = gpu.runKernel(k);
+        return std::make_pair(m, gpu.memorySystem().meanDramQueueDepth());
+    };
+    const auto [fast, fast_depth] = run_once(true);
+    const auto [slow, slow_depth] = run_once(false);
+
+    EXPECT_GT(fast.fastForwardedCycles, 0u);
+    EXPECT_EQ(slow.fastForwardedCycles, 0u);
+    EXPECT_EQ(fast.smCycles, slow.smCycles);
+    EXPECT_EQ(fast.memCycles, slow.memCycles);
+    EXPECT_EQ(fast.instructions, slow.instructions);
+    EXPECT_EQ(fast.dynamicJoules, slow.dynamicJoules);
+    EXPECT_EQ(fast.staticJoules, slow.staticJoules);
+    EXPECT_EQ(fast_depth, slow_depth);
+}
+
+/** fast_path=0 must fully disable both tiers. */
+TEST(FastPathEngagement, KnobDisablesSkipping)
+{
+    GpuTop gpu(smallGpu(4, /*fast_path=*/false));
+    ScriptedKernel k = sfuChainKernel(4);
+    const RunMetrics m = gpu.runKernel(k);
+    EXPECT_EQ(m.fastForwardedCycles, 0u);
+}
+
+// --- Checkpointing out of a skip-heavy run -----------------------------
+
+/**
+ * Saves a whole-GPU checkpoint from onSmCycle at a target cycle, and
+ * bounds fast-forward spans via nextActionCycle so the save cycle is
+ * ticked rather than jumped over. Construct disarmed for runs that
+ * should never save (and never veto a skip).
+ */
+class SaveAtController : public GpuController
+{
+  public:
+    SaveAtController(Cycle save_cycle, std::vector<std::uint8_t> *out)
+        : saveCycle_(save_cycle), out_(out)
+    {
+    }
+
+    std::string name() const override { return "save-at"; }
+
+    void
+    onSmCycle(GpuTop &g) override
+    {
+        if (out_ && out_->empty() &&
+            g.smDomain().cycle() >= saveCycle_)
+            *out_ = g.saveStateBuffer();
+    }
+
+    Cycle
+    nextActionCycle(const GpuTop &, Cycle /*now*/) const override
+    {
+        return (out_ && out_->empty()) ? saveCycle_ : noWakeup;
+    }
+
+  private:
+    Cycle saveCycle_;
+    std::vector<std::uint8_t> *out_;
+};
+
+/**
+ * Checkpointing in the middle of a skip-heavy run — with fast-forward
+ * spans active before and after the save cycle — must restore into a
+ * run whose final metrics match both the uninterrupted fast run and
+ * the slow path.
+ */
+TEST(FastPathCheckpoint, MidSkipSaveRestoresIdentically)
+{
+    const Cycle save_cycle = 1000;
+
+    auto make_kernel = [] { return sfuChainKernel(4); };
+
+    // Uninterrupted runs, fast and slow, for the reference metrics.
+    RunMetrics slow_ref;
+    {
+        GpuTop gpu(smallGpu(4, /*fast_path=*/false));
+        ScriptedKernel k = make_kernel();
+        slow_ref = gpu.runKernel(k);
+    }
+
+    // Donor: fast path on, saves mid-run, keeps going.
+    std::vector<std::uint8_t> saved;
+    RunMetrics donor_m;
+    {
+        GpuTop gpu(smallGpu(4, /*fast_path=*/true));
+        SaveAtController ctrl(save_cycle, &saved);
+        gpu.setController(&ctrl);
+        ScriptedKernel k = make_kernel();
+        donor_m = gpu.runKernel(k);
+        ASSERT_FALSE(saved.empty()) << "kernel shorter than save cycle";
+        EXPECT_GT(donor_m.fastForwardedCycles, 0u);
+    }
+
+    // Restored: fresh GPU, disarmed controller (skips stay enabled).
+    RunMetrics restored_m;
+    {
+        GpuTop gpu(smallGpu(4, /*fast_path=*/true));
+        SaveAtController ctrl(save_cycle, nullptr);
+        gpu.setController(&ctrl);
+        gpu.loadStateBuffer(saved);
+        ASSERT_TRUE(gpu.midKernel());
+        EXPECT_EQ(gpu.smDomain().cycle(), save_cycle);
+        ScriptedKernel k = make_kernel();
+        restored_m = gpu.resumeKernel(k);
+    }
+
+    EXPECT_EQ(donor_m.smCycles, slow_ref.smCycles);
+    EXPECT_EQ(restored_m.smCycles, slow_ref.smCycles);
+    EXPECT_EQ(restored_m.instructions, slow_ref.instructions);
+    EXPECT_EQ(restored_m.dynamicJoules, slow_ref.dynamicJoules);
+    EXPECT_EQ(restored_m.staticJoules, slow_ref.staticJoules);
+    EXPECT_EQ(restored_m.memCycles, slow_ref.memCycles);
+}
+
+// --- Wakeup sanity -----------------------------------------------------
+
+/** Plants a stale debug stall verdict once the kernel is bound. */
+class StaleWakeupController : public GpuController
+{
+  public:
+    std::string name() const override { return "stale-wakeup"; }
+
+    void
+    onKernelLaunch(GpuTop &g) override
+    {
+        // setKernel() clears the seam, so plant it afterwards: SM 0 now
+        // claims to be stalled until cycle 1 forever.
+        g.sm(0).debugSetStallWakeup(1);
+    }
+
+    Cycle
+    nextActionCycle(const GpuTop &, Cycle /*now*/) const override
+    {
+        return noWakeup;
+    }
+};
+
+/**
+ * A stall verdict whose wakeup is not in the future is a corrupted
+ * invariant; the fast-forward probe must die loudly rather than skip
+ * (or spin) on it.
+ */
+TEST(FastPathDeath, PastWakeupIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            GpuTop gpu(smallGpu(4, /*fast_path=*/true));
+            StaleWakeupController ctrl;
+            gpu.setController(&ctrl);
+            std::vector<WarpInstruction> script(64, aluInst());
+            ScriptedKernel k(info(4, 1, 1), std::move(script));
+            gpu.runKernel(k);
+        },
+        ::testing::ExitedWithCode(1), "not in the future");
+}
+
+} // namespace
+} // namespace equalizer
