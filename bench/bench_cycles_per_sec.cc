@@ -16,11 +16,15 @@
  *
  * Usage:
  *   bench_cycles_per_sec [kernels=a,b,c] [threads=<n>] [repeats=<n>]
- *                        [fast_path=0|1] [compare=0|1] [export=<path>]
+ *                        [fast_path=0|1] [compare=0|1] [shim=0|1]
+ *                        [export=<path>]
  *   repeats=N times each kernel N times and keeps the best wall time
  *   (simulated results are identical across repeats by construction).
  *   compare=1 additionally times each kernel with fast_path=0 and
  *   reports the fast-path wall-clock speedup.
+ *   shim=1 (default) appends a "shim:lbm" row timing a single-kernel
+ *   run through the deprecated runKernelsConcurrent() tenant shim, so
+ *   the perf gate tracks the tenant machinery's overhead too.
  */
 
 #include <algorithm>
@@ -29,7 +33,9 @@
 
 #include "bench_util.hh"
 #include "common/config.hh"
+#include "gpu/gpu_top.hh"
 #include "harness/export.hh"
+#include "kernels/synthetic_kernel.hh"
 
 using namespace equalizer;
 using namespace equalizer::bench;
@@ -54,6 +60,31 @@ struct TimedRun
     double wallSeconds = 0.0;
     AppRunResult result;
 };
+
+/** Best-of-@p repeats wall seconds for a single-kernel shim co-run. */
+struct TimedShim
+{
+    double wallSeconds = 0.0;
+    RunMetrics metrics;
+};
+
+TimedShim
+timeShim(const GpuConfig &gcfg, int repeats, const ZooEntry &entry)
+{
+    TimedShim out;
+    for (int i = 0; i < repeats; ++i) {
+        GpuTop gpu(gcfg);
+        SyntheticKernel launch(entry.params, 0);
+        const auto start = std::chrono::steady_clock::now();
+        RunMetrics m = gpu.runKernelsConcurrent({&launch});
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (i == 0 || wall.count() < out.wallSeconds)
+            out.wallSeconds = wall.count();
+        out.metrics = std::move(m);
+    }
+    return out;
+}
 
 TimedRun
 timeKernel(const GpuConfig &gcfg, int threads, int repeats,
@@ -89,6 +120,8 @@ main(int argc, char **argv)
             {"fast_path", "enable the cycle-skipping fast path", {}},
             {"compare",
              "also time fast_path=0 and report the speedup", {}},
+            {"shim",
+             "append a shim:lbm row through runKernelsConcurrent", {}},
             {"export", "write the throughput table (.csv/.json)",
              {"json"}},
         });
@@ -99,6 +132,7 @@ main(int argc, char **argv)
         std::max(1, static_cast<int>(cfg.getInt("repeats", 3)));
     const bool fast_path = cfg.getBool("fast_path", true);
     const bool compare = cfg.getBool("compare", false);
+    const bool shim = cfg.getBool("shim", true);
     const std::string export_path = cfg.getString("export", "");
 
     GpuConfig gcfg = GpuConfig::gtx480();
@@ -174,6 +208,39 @@ main(int argc, char **argv)
                           ExportCell::num(speedup)});
             row.insert(row.end(), {fmt(slow.wallSeconds, 3),
                                    fmt(speedup, 2) + "x"});
+        }
+        sink.row(cells);
+        t.row(row);
+    }
+
+    if (shim) {
+        // Single-kernel run through the tenant shim: bit-identical
+        // simulated cycles (the shim vetoes the fast path, so ff=0)
+        // but timed separately so the perf gate catches overhead in
+        // the invocation/tenant bookkeeping itself.
+        const ZooEntry &entry = KernelZoo::byName("lbm");
+        progress("timing shim:lbm (runKernelsConcurrent)");
+        const TimedShim run = timeShim(gcfg, repeats, entry);
+        const double cps =
+            run.wallSeconds > 0.0
+                ? static_cast<double>(run.metrics.smCycles) /
+                      run.wallSeconds
+                : 0.0;
+        std::vector<ExportCell> cells = {
+            ExportCell::str("shim:lbm"),
+            ExportCell::num(run.wallSeconds),
+            ExportCell::integer(
+                static_cast<std::int64_t>(run.metrics.smCycles)),
+            ExportCell::num(cps), ExportCell::integer(0),
+            ExportCell::num(0.0)};
+        std::vector<std::string> row = {
+            "shim:lbm", fmt(run.wallSeconds, 3),
+            std::to_string(run.metrics.smCycles), fmt(cps, 0), "0",
+            fmt(0.0, 3)};
+        if (compare) {
+            cells.insert(cells.end(), {ExportCell::num(run.wallSeconds),
+                                       ExportCell::num(1.0)});
+            row.insert(row.end(), {fmt(run.wallSeconds, 3), "1.00x"});
         }
         sink.row(cells);
         t.row(row);

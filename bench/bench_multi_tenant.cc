@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Multi-tenant co-run benchmark (docs/MULTI_TENANT.md): times one
+ * co-run of several zoo kernels under the SM-partition + limiter
+ * machinery and reports per-tenant throughput plus Jain's fairness
+ * index over per-SM block throughput. Backs the bench-smoke CI job.
+ *
+ * Usage:
+ *   bench_multi_tenant [tenants=a,b] [sm_limit=l0,l1,...]
+ *                      [partition=rr|blocked] [threads=<n>]
+ *                      [repeats=<n>] [export=<path>]
+ *   sm_limit entries pair positionally with tenants; missing entries
+ *   default to 1.0 (unlimited).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "common/config.hh"
+#include "common/log.hh"
+#include "harness/co_run.hh"
+#include "harness/export.hh"
+#include "sim/parallel_executor.hh"
+
+using namespace equalizer;
+using namespace equalizer::bench;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(tok);
+    return out;
+}
+
+/**
+ * Jain's fairness index over @p xs: (sum x)^2 / (n * sum x^2).
+ * 1.0 = perfectly fair, 1/n = one tenant starves all others.
+ */
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0.0, sq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sq += x * x;
+    }
+    return sq > 0.0 ? (sum * sum) / (static_cast<double>(xs.size()) * sq)
+                    : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(
+        std::vector<std::string>(argv + 1, argv + argc),
+        std::vector<Knob>{
+            {"tenants", "comma-separated zoo kernels, one per tenant",
+             {}},
+            {"sm_limit", "per-tenant SM-utilization caps (positional)",
+             {}},
+            {"partition", "SM partition policy: rr or blocked", {}},
+            {"threads", "simulation worker threads (1 = serial)", {}},
+            {"repeats", "timings per co-run; best is reported", {}},
+            {"export", "write the per-tenant table (.csv/.json)",
+             {"json"}},
+        });
+
+    const std::vector<std::string> kernels =
+        splitCsv(cfg.getString("tenants", "lbm,kmn"));
+    const std::vector<std::string> limits =
+        splitCsv(cfg.getString("sm_limit", ""));
+    if (limits.size() > kernels.size())
+        fatal("sm_limit has more entries than tenants");
+    const PartitionPolicy partition =
+        partitionPolicyFromName(cfg.getString("partition", "rr"));
+    const int threads = static_cast<int>(cfg.getInt("threads", 1));
+    const int repeats =
+        std::max(1, static_cast<int>(cfg.getInt("repeats", 3)));
+    const std::string export_path = cfg.getString("export", "");
+
+    std::vector<CoRunTenant> tenants;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        CoRunTenant t;
+        t.kernel = kernels[i];
+        t.name = "t" + std::to_string(i);
+        if (i < limits.size() && !limits[i].empty())
+            t.smLimit = std::stod(limits[i]);
+        tenants.push_back(std::move(t));
+    }
+
+    banner("multi-tenant co-run (threads=" + std::to_string(threads) +
+           ", repeats=" + std::to_string(repeats) + ")");
+
+    CoRunOptions opts;
+    opts.partition = partition;
+
+    double best_wall = 0.0;
+    CoRunResult result;
+    for (int i = 0; i < repeats; ++i) {
+        GpuTop gpu(GpuConfig::gtx480());
+        std::unique_ptr<ParallelExecutor> exec;
+        if (threads != 1) {
+            exec = std::make_unique<ParallelExecutor>(threads);
+            gpu.setParallelExecutor(exec.get());
+        }
+        progress("co-run repeat " + std::to_string(i + 1));
+        const auto start = std::chrono::steady_clock::now();
+        CoRunResult r = runCoRun(gpu, tenants, opts);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (i == 0 || wall.count() < best_wall)
+            best_wall = wall.count();
+        result = std::move(r);
+    }
+
+    // Fairness over per-SM block throughput: each tenant's completed
+    // blocks normalized by its share of the machine.
+    std::vector<double> per_sm;
+    for (const auto &t : result.tenants) {
+        per_sm.push_back(t.smCount > 0
+                             ? static_cast<double>(t.blocksCompleted) /
+                                   static_cast<double>(t.smCount)
+                             : 0.0);
+    }
+    const double fairness = jainIndex(per_sm);
+
+    ExportSink sink = ExportSink::tenantTable();
+    sink.meta("bench", ExportCell::str("multi_tenant"));
+    sink.meta("partition",
+              ExportCell::str(partitionPolicyName(partition)));
+    sink.meta("threads", ExportCell::integer(threads));
+    sink.meta("co_run", ExportCell::str(result.combined.kernel));
+    sink.meta("sm_cycles",
+              ExportCell::integer(
+                  static_cast<std::int64_t>(result.combined.smCycles)));
+    sink.meta("wall_seconds", ExportCell::num(best_wall));
+    sink.meta("fairness_index", ExportCell::num(fairness));
+
+    TablePrinter t({"tenant", "kernel", "limit", "sms", "dispatched",
+                    "completed", "occupancy", "blocks/s"});
+    for (const auto &row : result.tenants) {
+        sink.addTenantMetrics(partitionPolicyName(partition), row);
+        const double bps =
+            best_wall > 0.0
+                ? static_cast<double>(row.blocksCompleted) / best_wall
+                : 0.0;
+        t.row({row.tenant, row.kernels, fmt(row.smLimit, 2),
+               std::to_string(row.smCount),
+               std::to_string(row.dispatchedBlocks),
+               std::to_string(row.blocksCompleted),
+               fmt(row.occupancyShare(), 3), fmt(bps, 0)});
+    }
+    t.print();
+    progress("co-run " + result.combined.kernel + ": " +
+             std::to_string(result.combined.smCycles) +
+             " sm cycles, fairness " + fmt(fairness, 4));
+
+    if (!export_path.empty()) {
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
+        progress("wrote " + export_path);
+    }
+    return 0;
+}

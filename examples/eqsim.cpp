@@ -35,6 +35,14 @@
  *                gets Chrome trace_event output for Perfetto, any
  *                other suffix the binary format — docs/TRACING.md)
  *   trace_buf_kb=<n> trace_epoch=<cycles> (tracing tunables)
+ *   tenants=<k1,k2,...> (multi-tenant co-run: one tenant per kernel on
+ *                exclusive SM partitions — docs/MULTI_TENANT.md; the
+ *                report gains a per-tenant table and export= writes
+ *                per-tenant rows)
+ *   sm_limit=<f1,f2,...> (per-tenant SM-utilization caps in (0, 1],
+ *                matched positionally to tenants=; missing entries
+ *                default to 1.0 = unlimited)
+ *   partition=rr|blocked (SM partition policy for tenants=)
  *   list=1 (print the roster, the knob registry and exit)
  *
  * Unknown keys are rejected with a "did you mean" suggestion;
@@ -46,6 +54,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "harness/co_run.hh"
 #include "harness/export.hh"
 #include "harness/policies.hh"
 #include "harness/report.hh"
@@ -123,9 +132,162 @@ knobs()
         {"trace_buf_kb", "per-SM trace ring capacity in KiB", {}},
         {"trace_epoch", "trace drain interval in cycles (power of 2)",
          {}},
+        {"tenants", "comma-separated kernels for a multi-tenant co-run",
+         {}},
+        {"sm_limit",
+         "per-tenant SM-utilization caps in (0, 1], matched to tenants=",
+         {}},
+        {"partition", "tenant SM partition policy: rr or blocked", {}},
         {"list", "print the roster and knob registry, then exit", {}},
     };
     return k;
+}
+
+/** Split a comma-separated list, dropping empty entries. */
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string item =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * The tenants= mode: partition the device, co-run one kernel per
+ * tenant and report/export per-tenant attribution.
+ */
+int
+runTenantsMode(const Config &cfg, const GpuConfig &gcfg)
+{
+    const std::vector<std::string> kernels =
+        splitCsv(cfg.getString("tenants", ""));
+    const std::vector<std::string> limits =
+        splitCsv(cfg.getString("sm_limit", ""));
+    if (limits.size() > kernels.size())
+        fatal("sm_limit= has ", limits.size(), " entries for ",
+              kernels.size(), " tenants");
+    const PartitionPolicy partition =
+        partitionPolicyFromName(cfg.getString("partition", "rr"));
+    const std::string policy_name = cfg.getString("policy", "baseline");
+    const PolicySpec policy = resolvePolicy(policy_name, cfg);
+    const int threads = static_cast<int>(cfg.getInt("threads", 0));
+
+    std::vector<CoRunTenant> tenants;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        CoRunTenant t;
+        t.kernel = kernels[i];
+        t.name = "t" + std::to_string(i);
+        if (i < limits.size())
+            t.smLimit = std::stod(limits[i]);
+        tenants.push_back(std::move(t));
+    }
+
+    GpuTop gpu(gcfg, PowerConfig::gtx480());
+    std::unique_ptr<ParallelExecutor> executor;
+    if (threads != 1) {
+        executor = std::make_unique<ParallelExecutor>(threads);
+        gpu.setParallelExecutor(executor.get());
+    }
+    std::unique_ptr<GpuController> controller = policy.build();
+    gpu.setController(controller.get());
+
+    // trace=: same wiring as the single-kernel mode — .json converts
+    // to Chrome trace_event at the end, anything else streams binary.
+    const std::string trace_path = cfg.getString("trace", "");
+    TraceConfig tcfg;
+    tcfg.bufKb = static_cast<std::size_t>(cfg.getInt("trace_buf_kb", 64));
+    tcfg.epochCycles =
+        static_cast<Cycle>(cfg.getInt("trace_epoch", 4096));
+    std::unique_ptr<MemoryTraceSink> trace_mem;
+    std::unique_ptr<FileTraceSink> trace_file;
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_path.empty()) {
+        if (chromeTracePath(trace_path)) {
+            trace_mem = std::make_unique<MemoryTraceSink>();
+            tracer = std::make_unique<Tracer>(tcfg, *trace_mem);
+        } else {
+            trace_file = std::make_unique<FileTraceSink>(trace_path);
+            tracer = std::make_unique<Tracer>(tcfg, *trace_file);
+        }
+        gpu.setTracer(tracer.get());
+    }
+
+    std::cout << "co-run of " << kernels.size() << " tenant(s), policy "
+              << policy.name << ", " << gcfg.numSms << " SMs, "
+              << gpu.simThreads() << " sim thread(s)\n";
+
+    CoRunOptions opts;
+    opts.partition = partition;
+    const CoRunResult r = runCoRun(gpu, tenants, opts);
+
+    if (tracer) {
+        gpu.setTracer(nullptr);
+        tracer->finish();
+        if (trace_mem) {
+            writeChromeTraceFile(
+                TraceReader::fromBytes(trace_mem->serialize()),
+                trace_path);
+        }
+        std::cout << "trace: " << tracer->eventsRecorded()
+                  << " events -> " << trace_path;
+        if (tracer->eventsDropped() > 0)
+            std::cout << " (" << tracer->eventsDropped()
+                      << " dropped; raise trace_buf_kb)";
+        std::cout << '\n';
+    }
+
+    if (const std::string export_path = cfg.getString("export", "");
+        !export_path.empty()) {
+        ExportSink sink = ExportSink::tenantTable();
+        sink.meta("policy", ExportCell::str(policy.name));
+        sink.meta("partition",
+                  ExportCell::str(cfg.getString("partition", "rr")));
+        sink.meta("co_run", ExportCell::str(r.combined.kernel));
+        sink.meta("sm_cycles",
+                  ExportCell::integer(
+                      static_cast<std::int64_t>(r.combined.smCycles)));
+        for (const auto &t : r.tenants)
+            sink.addTenantMetrics(policy.name, t);
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
+    }
+
+    banner("co-run");
+    TablePrinter timing({"metric", "value"});
+    timing.row({"label", r.combined.kernel});
+    timing.row({"time", fmt(r.combined.seconds * 1e3, 4) + " ms"});
+    timing.row({"SM cycles", std::to_string(r.combined.smCycles)});
+    timing.row({"instructions",
+                std::to_string(r.combined.instructions)});
+    timing.row({"total energy",
+                fmt(r.combined.totalJoules(), 5) + " J"});
+    timing.print();
+
+    banner("tenants");
+    TablePrinter tt({"tenant", "kernel", "sm_limit", "SMs", "dispatched",
+                     "blocks done", "instructions", "occupancy",
+                     "limited cycles"});
+    for (const auto &t : r.tenants)
+        tt.row({t.tenant, t.kernels, fmt(t.smLimit, 2),
+                std::to_string(t.smCount),
+                std::to_string(t.dispatchedBlocks),
+                std::to_string(t.blocksCompleted),
+                std::to_string(t.instructions), pct(t.occupancyShare()),
+                std::to_string(t.limitedCycles)});
+    tt.print();
+    return 0;
 }
 
 } // namespace
@@ -155,6 +317,7 @@ main(int argc, char **argv)
     const std::string policy_name = cfg.getString("policy", "baseline");
 
     GpuConfig gcfg = GpuConfig::gtx480();
+    // (gcfg overrides below also apply to the tenants= co-run mode.)
     gcfg.numSms = static_cast<int>(cfg.getInt("sms", gcfg.numSms));
     gcfg.issueWidth =
         static_cast<int>(cfg.getInt("issue_width", gcfg.issueWidth));
@@ -169,6 +332,9 @@ main(int argc, char **argv)
     if (cfg.getString("scheduler", "lrr") == "gto")
         gcfg.scheduler = SchedulerPolicy::GreedyThenOldest;
     gcfg.fastPath = cfg.getBool("fast_path", gcfg.fastPath);
+
+    if (!cfg.getString("tenants", "").empty())
+        return runTenantsMode(cfg, gcfg);
 
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
     const int threads = static_cast<int>(cfg.getInt("threads", 0));

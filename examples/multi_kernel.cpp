@@ -8,6 +8,11 @@
  * kernel, and (b) how the single chip-wide VRM must compromise between
  * the two kernels' frequency preferences (majority vote).
  *
+ * Uses the deprecated runKernelsConcurrent() shim for brevity; for
+ * the full tenant machinery (utilization caps, partition policies,
+ * per-tenant attribution) see docs/MULTI_TENANT.md and
+ * `eqsim tenants=`.
+ *
  * Usage: multi_kernel [a=<kernel>] [b=<kernel>] [mode=perf|energy]
  */
 

@@ -20,6 +20,12 @@ and commit the result alongside the change that moved it.
 Usage:
     scripts/check_bench_baseline.py FRESH.json [--baseline BENCH_BASELINE.json]
         [--fail-below 0.75] [--warn-below 0.90] [--skip-cycles-check]
+        [--expect NAME]...
+
+``--expect NAME`` (repeatable) fails the gate when the named row is
+missing from the fresh export — use it to pin rows the bench is
+expected to produce (e.g. ``--expect shim:lbm``) so a silently dropped
+workload can't pass as "nothing regressed".
 
 Exit status: 0 on pass (warnings allowed), 1 on any failure.
 When $GITHUB_STEP_SUMMARY is set, a Markdown comparison table is
@@ -50,6 +56,10 @@ def main():
                          "of baseline (default 0.90)")
     ap.add_argument("--skip-cycles-check", action="store_true",
                     help="skip the exact sm_cycles comparison")
+    ap.add_argument("--expect", action="append", default=[],
+                    metavar="NAME",
+                    help="fail when this row is missing from the fresh "
+                         "export (repeatable)")
     args = ap.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -98,6 +108,11 @@ def main():
             f"| {kernel} | {base['cycles_per_sec']:.0f} "
             f"| {row['cycles_per_sec']:.0f} | {ratio:.2f}x "
             f"| {cycles} | {status} |")
+
+    for name in args.expect:
+        if name not in fresh:
+            failures.append(
+                f"{name}: expected row missing from fresh export")
 
     for extra in sorted(set(fresh) - set(baseline)):
         warnings.append(f"{extra}: not in baseline (new kernel?)")

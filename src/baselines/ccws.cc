@@ -8,57 +8,66 @@
 namespace equalizer
 {
 
+std::unique_ptr<Ccws::SmState>
+Ccws::buildSmState(GpuTop &gpu, int i) const
+{
+    auto st = std::make_unique<SmState>();
+    auto &sm = gpu.sm(i);
+    const int warps = sm.blockSlotCount() * sm.warpsPerBlock();
+    for (int w = 0; w < warps; ++w)
+        st->vta.push_back(
+            std::make_unique<TagArray>(cfg_.vtaSets, cfg_.vtaWays));
+    st->score.assign(static_cast<std::size_t>(warps), cfg_.baseScore);
+    st->allowed.assign(static_cast<std::size_t>(warps), true);
+    return st;
+}
+
 void
 Ccws::buildStates(GpuTop &gpu)
 {
     sms_.clear();
-    for (int i = 0; i < gpu.numSms(); ++i) {
-        auto st = std::make_unique<SmState>();
-        auto &sm = gpu.sm(i);
-        const int warps = sm.blockSlotCount() * sm.warpsPerBlock();
-        for (int w = 0; w < warps; ++w)
-            st->vta.push_back(
-                std::make_unique<TagArray>(cfg_.vtaSets, cfg_.vtaWays));
-        st->score.assign(static_cast<std::size_t>(warps), cfg_.baseScore);
-        st->allowed.assign(static_cast<std::size_t>(warps), true);
-        sms_.push_back(std::move(st));
-    }
+    for (int i = 0; i < gpu.numSms(); ++i)
+        sms_.push_back(buildSmState(gpu, i));
+}
+
+void
+Ccws::installHooksFor(GpuTop &gpu, int i)
+{
+    auto &sm = gpu.sm(i);
+    SmState *raw = sms_[static_cast<std::size_t>(i)].get();
+
+    // Evicted lines are remembered in the owner warp's VTA.
+    sm.l1().setEvictionHook([raw](Addr line, int owner) {
+        if (owner >= 0 && owner < static_cast<int>(raw->vta.size())) {
+            raw->vta[static_cast<std::size_t>(owner)]->insert(line,
+                                                              owner);
+        }
+    });
+
+    // A miss hitting the warp's own VTA is lost intra-warp locality.
+    sm.l1().setMissHook([this, raw](WarpId warp, Addr line) {
+        if (warp < 0 || warp >= static_cast<int>(raw->vta.size()))
+            return;
+        auto &vta = *raw->vta[static_cast<std::size_t>(warp)];
+        if (vta.lookup(line)) {
+            vta.invalidate(line);
+            auto &s = raw->score[static_cast<std::size_t>(warp)];
+            s = std::min(cfg_.maxScore, s + cfg_.vtaHitGain);
+            ++lostEvents_;
+        }
+    });
+
+    sm.setMemIssueFilter([raw](WarpId warp) {
+        return warp < static_cast<int>(raw->allowed.size()) &&
+               raw->allowed[static_cast<std::size_t>(warp)];
+    });
 }
 
 void
 Ccws::installHooks(GpuTop &gpu)
 {
-    for (int i = 0; i < gpu.numSms(); ++i) {
-        auto &sm = gpu.sm(i);
-        SmState *raw = sms_[static_cast<std::size_t>(i)].get();
-
-        // Evicted lines are remembered in the owner warp's VTA.
-        sm.l1().setEvictionHook([raw](Addr line, int owner) {
-            if (owner >= 0 &&
-                owner < static_cast<int>(raw->vta.size())) {
-                raw->vta[static_cast<std::size_t>(owner)]->insert(line,
-                                                                  owner);
-            }
-        });
-
-        // A miss hitting the warp's own VTA is lost intra-warp locality.
-        sm.l1().setMissHook([this, raw](WarpId warp, Addr line) {
-            if (warp < 0 || warp >= static_cast<int>(raw->vta.size()))
-                return;
-            auto &vta = *raw->vta[static_cast<std::size_t>(warp)];
-            if (vta.lookup(line)) {
-                vta.invalidate(line);
-                auto &s = raw->score[static_cast<std::size_t>(warp)];
-                s = std::min(cfg_.maxScore, s + cfg_.vtaHitGain);
-                ++lostEvents_;
-            }
-        });
-
-        sm.setMemIssueFilter([raw](WarpId warp) {
-            return warp < static_cast<int>(raw->allowed.size()) &&
-                   raw->allowed[static_cast<std::size_t>(warp)];
-        });
-    }
+    for (int i = 0; i < gpu.numSms(); ++i)
+        installHooksFor(gpu, i);
 }
 
 void
@@ -66,6 +75,18 @@ Ccws::onKernelLaunch(GpuTop &gpu)
 {
     buildStates(gpu);
     installHooks(gpu);
+}
+
+void
+Ccws::onInvocationLaunch(GpuTop &gpu, const KernelInvocation &inv)
+{
+    // Scoring state is per-kernel (VTA geometry follows the kernel's
+    // warp layout): a relaunch rebuilds only the invocation's SMs, so
+    // co-resident tenants keep their scores and victim tags.
+    for (int i : inv.smSet()) {
+        sms_[static_cast<std::size_t>(i)] = buildSmState(gpu, i);
+        installHooksFor(gpu, i);
+    }
 }
 
 void

@@ -49,6 +49,8 @@ class Ccws : public GpuController
     std::string name() const override { return "ccws"; }
 
     void onKernelLaunch(GpuTop &gpu) override;
+    void onInvocationLaunch(GpuTop &gpu,
+                            const KernelInvocation &inv) override;
     void onSmCycle(GpuTop &gpu) override;
     void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 
@@ -69,12 +71,18 @@ class Ccws : public GpuController
     /** (Re)size the per-SM scoring state to the GPU's geometry. */
     void buildStates(GpuTop &gpu);
 
+    /** Fresh scoring state sized to SM @p i's kernel geometry. */
+    std::unique_ptr<SmState> buildSmState(GpuTop &gpu, int i) const;
+
     /**
      * Point the L1 eviction/miss hooks and the memory-issue filter of
      * every SM at our per-SM state. Hooks are never serialized; a
      * restore rebuilds them here.
      */
     void installHooks(GpuTop &gpu);
+
+    /** installHooks for one SM (per-invocation rebinding). */
+    void installHooksFor(GpuTop &gpu, int i);
 
     void recomputeAllowed(SmState &st);
 

@@ -12,6 +12,15 @@ DynCta::onKernelLaunch(GpuTop &gpu)
 }
 
 void
+DynCta::onInvocationLaunch(GpuTop &, const KernelInvocation &inv)
+{
+    // A tenant's mid-co-run relaunch restarts only its own windows;
+    // co-resident tenants keep their in-flight measurement.
+    for (int i : inv.smSet())
+        windows_[static_cast<std::size_t>(i)].reset();
+}
+
+void
 DynCta::visitControllerState(StateVisitor &v, GpuTop &)
 {
     v.beginSection("dyncta", 1);

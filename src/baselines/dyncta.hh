@@ -52,6 +52,8 @@ class DynCta : public GpuController
     std::string name() const override { return "dyncta"; }
 
     void onKernelLaunch(GpuTop &gpu) override;
+    void onInvocationLaunch(GpuTop &gpu,
+                            const KernelInvocation &inv) override;
     void onSmCycle(GpuTop &gpu) override;
     void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 

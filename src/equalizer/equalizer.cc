@@ -27,20 +27,27 @@ EqualizerEngine::onKernelLaunch(GpuTop &gpu)
         pendingDir_.assign(static_cast<std::size_t>(n), 0);
         pendingCount_.assign(static_cast<std::size_t>(n), 0);
         rememberedTargets_.assign(static_cast<std::size_t>(n), -1);
+        lastKernelPerSm_.assign(static_cast<std::size_t>(n),
+                                std::string{});
         freqMgr_ = std::make_unique<FrequencyManager>(n);
     }
+}
 
-    const std::string kname =
-        gpu.currentKernel() ? gpu.currentKernel()->info().name : "";
-    const bool same_kernel = !kname.empty() && kname == lastKernel_;
-    lastKernel_ = kname;
-
-    for (int i = 0; i < n; ++i) {
+void
+EqualizerEngine::onInvocationLaunch(GpuTop &gpu,
+                                    const KernelInvocation &inv)
+{
+    // Per-SM reset, scoped to the invocation's partition so a tenant's
+    // relaunch does not disturb co-resident tenants mid-epoch.
+    for (int i : inv.smSet()) {
         samplers_[static_cast<std::size_t>(i)].reset();
         pendingDir_[static_cast<std::size_t>(i)] = 0;
         pendingCount_[static_cast<std::size_t>(i)] = 0;
         // A new invocation of the same kernel inherits the adapted block
         // target (paper Fig 11a); a different kernel starts at maximum.
+        const bool same_kernel =
+            inv.name() == lastKernelPerSm_[static_cast<std::size_t>(i)];
+        lastKernelPerSm_[static_cast<std::size_t>(i)] = inv.name();
         if (same_kernel &&
             rememberedTargets_[static_cast<std::size_t>(i)] > 0) {
             gpu.sm(i).setTargetBlocks(
@@ -54,12 +61,13 @@ EqualizerEngine::onKernelLaunch(GpuTop &gpu)
 void
 EqualizerEngine::visitControllerState(StateVisitor &v, GpuTop &)
 {
-    v.beginSection("equalizer", 1);
+    // v2: lastKernel_ (one device-wide name) became lastKernelPerSm_.
+    v.beginSection("equalizer", 2);
     v.field(samplers_);
     v.field(pendingDir_);
     v.field(pendingCount_);
     v.field(rememberedTargets_);
-    v.field(lastKernel_);
+    v.field(lastKernelPerSm_);
     bool has_mgr = freqMgr_ != nullptr;
     v.field(has_mgr);
     if (!v.saving()) {

@@ -67,6 +67,8 @@ class EqualizerEngine : public GpuController
     std::string name() const override;
 
     void onKernelLaunch(GpuTop &gpu) override;
+    void onInvocationLaunch(GpuTop &gpu,
+                            const KernelInvocation &inv) override;
     void onSmCycle(GpuTop &gpu) override;
     void visitControllerState(StateVisitor &v, GpuTop &gpu) override;
 
@@ -99,7 +101,13 @@ class EqualizerEngine : public GpuController
     std::vector<int> pendingDir_;   ///< -1/0/+1 pending block direction
     std::vector<int> pendingCount_; ///< consecutive epochs in pendingDir
     std::vector<int> rememberedTargets_;
-    std::string lastKernel_;
+
+    /**
+     * Kernel name each SM last ran, keyed per SM (not per device) so
+     * co-resident tenants inherit adapted block targets independently
+     * (paper Fig 11a generalised to multi-tenant partitions).
+     */
+    std::vector<std::string> lastKernelPerSm_;
 
     std::unique_ptr<FrequencyManager> freqMgr_;
 

@@ -15,15 +15,17 @@ namespace equalizer
 {
 
 class GpuTop;
+class KernelInvocation;
 class StateVisitor;
 
 /**
  * A hardware runtime policy observing and steering the GPU.
  *
- * Hooks are invoked by GpuTop: onKernelLaunch after SMs are bound to the
- * kernel but before blocks are distributed; onSmCycle after every SM
- * clock edge (all SMs have ticked); onKernelComplete when the grid has
- * drained.
+ * Hooks are invoked by GpuTop: onKernelLaunch once per run (all SMs are
+ * bound, blocks not yet distributed); onInvocationLaunch once per
+ * kernel invocation (including a tenant's mid-co-run relaunch of its
+ * next queued kernel); onSmCycle after every SM clock edge (all SMs
+ * have ticked); onKernelComplete when every grid has drained.
  */
 class GpuController
 {
@@ -34,6 +36,15 @@ class GpuController
     virtual std::string name() const = 0;
 
     virtual void onKernelLaunch(GpuTop &) {}
+
+    /**
+     * Per-invocation launch hook: the invocation's SMs are bound to its
+     * kernel; decisions should be keyed by the invocation's SM set so
+     * co-resident tenants don't disturb each other. Default no-op keeps
+     * device-global policies working unchanged.
+     */
+    virtual void onInvocationLaunch(GpuTop &, const KernelInvocation &) {}
+
     virtual void onSmCycle(GpuTop &) {}
     virtual void onKernelComplete(GpuTop &) {}
 

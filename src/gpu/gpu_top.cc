@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "common/log.hh"
 
@@ -48,6 +49,8 @@ GpuTop::GpuTop(GpuConfig cfg, PowerConfig power)
         sms_.push_back(std::make_unique<StreamingMultiprocessor>(
             cfg_, s, memSystem_, energy_));
     energy_.setDomainStates(smDomain_.state(), memDomain_.state());
+    smInvocation_.assign(static_cast<std::size_t>(cfg_.numSms), -1);
+    configureTenants({});
 }
 
 void
@@ -94,9 +97,31 @@ GpuTop::setTracer(Tracer *tracer)
         g.define("l2_hit_rate");
         g.define("dram_accesses");
         g.define("mean_dram_queue_depth");
+        defineTenantGauges();
     } else {
         for (const auto &sm : sms_)
             sm->setTraceRing(nullptr);
+    }
+}
+
+void
+GpuTop::defineTenantGauges()
+{
+    // Only explicitly configured tenants get gauges: the implicit
+    // whole-device tenant must leave single-tenant traces byte-
+    // identical to the pre-tenant format.
+    if (!explicitTenants_)
+        return;
+    for (auto &t : tenants_) {
+        t.setGaugeNames("tenant." + t.name() + ".dispatched_blocks",
+                        "tenant." + t.name() + ".limiter_debt",
+                        "tenant." + t.name() + ".occupancy_share");
+        if (tracer_) {
+            auto &g = tracer_->gauges();
+            g.define(t.gaugeDispatched());
+            g.define(t.gaugeDebt());
+            g.define(t.gaugeShare());
+        }
     }
 }
 
@@ -138,6 +163,19 @@ GpuTop::traceEpoch(Cycle cycle)
           static_cast<double>(memSystem_.dramAccesses()));
     g.set("mean_dram_queue_depth", memSystem_.meanDramQueueDepth());
 
+    // Per-tenant attribution gauges (explicit tenants only, so the
+    // single-tenant trace format is unchanged). Set here in the serial
+    // barrier — the canonical drain keeps traces byte-identical across
+    // thread counts.
+    if (explicitTenants_) {
+        for (const auto &t : tenants_) {
+            g.set(t.gaugeDispatched(),
+                  static_cast<double>(t.dispatchedBlocks()));
+            g.set(t.gaugeDebt(), t.limiterDebt());
+            g.set(t.gaugeShare(), t.occupancyShare());
+        }
+    }
+
     tracer_->drainEpoch(cycle);
 }
 
@@ -159,33 +197,224 @@ GpuTop::clearPolicyHooks()
 }
 
 void
+GpuTop::configureTenants(const std::vector<TenantSpec> &specs,
+                         PartitionPolicy policy)
+{
+    if (run_.active)
+        fatal("configureTenants: not allowed while a run is in flight");
+    if (pendingLaunches_ > 0)
+        fatal("configureTenants: ", pendingLaunches_,
+              " queued launch(es) pending; run or reset them first");
+
+    tenants_.clear();
+    invocations_.clear();
+    std::fill(smInvocation_.begin(), smInvocation_.end(), -1);
+
+    if (specs.empty()) {
+        // The implicit whole-device tenant of the classic paths.
+        std::vector<int> all(static_cast<std::size_t>(numSms()));
+        std::iota(all.begin(), all.end(), 0);
+        tenants_.emplace_back(0, TenantSpec{"default", 1.0},
+                              std::move(all));
+        explicitTenants_ = false;
+        return;
+    }
+
+    const int nt = static_cast<int>(specs.size());
+    if (nt > numSms())
+        fatal("configureTenants: ", nt, " tenants but only ", numSms(),
+              " SMs (partitions are exclusive)");
+
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(nt));
+    for (int s = 0; s < numSms(); ++s) {
+        const int t = policy == PartitionPolicy::RoundRobin
+                          ? s % nt
+                          : std::min(nt - 1, s * nt / numSms());
+        parts[static_cast<std::size_t>(t)].push_back(s);
+    }
+
+    for (int i = 0; i < nt; ++i) {
+        TenantSpec spec = specs[static_cast<std::size_t>(i)];
+        if (spec.name.empty())
+            spec.name = "t" + std::to_string(i);
+        if (!(spec.smLimit > 0.0) || spec.smLimit > 1.0)
+            fatal("tenant '", spec.name, "': sm_limit must be in (0, 1]"
+                  ", got ", spec.smLimit);
+        tenants_.emplace_back(i, std::move(spec),
+                              std::move(parts[static_cast<std::size_t>(
+                                  i)]));
+    }
+    explicitTenants_ = true;
+    defineTenantGauges();
+}
+
+void
+GpuTop::enqueueKernel(int tenant, const KernelLaunch &kernel)
+{
+    if (tenant < 0 || tenant >= numTenants())
+        fatal("enqueueKernel: no tenant ", tenant, " (have ",
+              numTenants(), ")");
+    tenants_[static_cast<std::size_t>(tenant)].enqueue(&kernel);
+    ++pendingLaunches_;
+}
+
+std::uint64_t
+GpuTop::instructionsOn(const std::vector<int> &sm_set) const
+{
+    std::uint64_t n = 0;
+    for (int s : sm_set)
+        n += sms_[static_cast<std::size_t>(s)]->instructionsIssued();
+    return n;
+}
+
+std::uint64_t
+GpuTop::blocksCompletedOn(const std::vector<int> &sm_set) const
+{
+    std::uint64_t n = 0;
+    for (int s : sm_set)
+        n += sms_[static_cast<std::size_t>(s)]->blocksCompleted();
+    return n;
+}
+
+KernelInvocation &
+GpuTop::makeInvocation(Tenant &tenant, const KernelLaunch &kernel)
+{
+    invocations_.emplace_back(tenant.id(), &kernel, tenant.smSet());
+    KernelInvocation &inv = invocations_.back();
+    const int idx = static_cast<int>(invocations_.size()) - 1;
+    for (int s : inv.smSet()) {
+        sms_[static_cast<std::size_t>(s)]->setKernel(&kernel);
+        smInvocation_[static_cast<std::size_t>(s)] = idx;
+    }
+    return inv;
+}
+
+void
+GpuTop::launchHooks(KernelInvocation &inv)
+{
+    inv.onLaunch(smDomain_.cycle(), instructionsOn(inv.smSet()),
+                 blocksCompletedOn(inv.smSet()));
+    if (controller_)
+        controller_->onInvocationLaunch(*this, inv);
+    if (tracer_)
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
+                                      smDomain_.cycle(),
+                                      inv.name().c_str()));
+}
+
+void
 GpuTop::distributeBlocks()
 {
-    // Breadth-first: one block per SM per sweep, so small grids spread
-    // across all SMs instead of piling onto the first few.
-    bool assigned = true;
-    while (assigned && gwde_.hasBlocks()) {
-        assigned = false;
-        for (const auto &sm : sms_) {
-            if (!gwde_.hasBlocks())
-                break;
-            if (sm->wantsBlock()) {
-                sm->assignBlock(gwde_.takeBlock());
-                assigned = true;
+    // Breadth-first per invocation: one block per SM per sweep, so
+    // small grids spread across the partition instead of piling onto
+    // the first few SMs. Dispatch is gated by the owning tenant's
+    // token bucket (tenant.hh); partitions are exclusive, so the
+    // per-invocation order equals the legacy whole-device sweep.
+    for (auto &inv : invocations_) {
+        if (!inv.active() || !inv.gwde().hasBlocks())
+            continue;
+        Tenant &t = tenants_[static_cast<std::size_t>(inv.tenantId())];
+        if (!t.canDispatch())
+            continue;
+        bool assigned = true;
+        while (assigned && inv.gwde().hasBlocks()) {
+            assigned = false;
+            for (int s : inv.smSet()) {
+                if (!inv.gwde().hasBlocks())
+                    break;
+                auto &sm = *sms_[static_cast<std::size_t>(s)];
+                if (sm.wantsBlock()) {
+                    sm.assignBlock(inv.gwde().takeBlock());
+                    t.onDispatch();
+                    assigned = true;
+                }
             }
         }
     }
 }
 
 bool
-GpuTop::kernelDone() const
+GpuTop::allDone() const
 {
-    if (gwde_.hasBlocks())
+    if (pendingLaunches_ > 0)
         return false;
+    for (const auto &inv : invocations_)
+        if (inv.active() && inv.gwde().hasBlocks())
+            return false;
     for (const auto &sm : sms_)
         if (!sm->idle())
             return false;
     return true;
+}
+
+void
+GpuTop::completeInvocation(KernelInvocation &inv)
+{
+    inv.onComplete(smDomain_.cycle(), instructionsOn(inv.smSet()),
+                   blocksCompletedOn(inv.smSet()));
+    for (int s : inv.smSet())
+        smInvocation_[static_cast<std::size_t>(s)] = -1;
+    if (tracer_)
+        tracer_->emit(makeStringEvent(TraceEventKind::KernelEnd,
+                                      smDomain_.cycle(),
+                                      inv.name().c_str()));
+}
+
+void
+GpuTop::serviceTenants()
+{
+    // Relaunch: the cycle an invocation's grid drains, its tenant's
+    // next queued kernel takes over the partition. Checked before the
+    // limiter step so a fresh grid's pending work is visible to it.
+    if (pendingLaunches_ > 0) {
+        for (std::size_t i = 0; i < invocations_.size(); ++i) {
+            KernelInvocation &inv = invocations_[i];
+            if (!inv.active() || inv.gwde().hasBlocks())
+                continue;
+            Tenant &t =
+                tenants_[static_cast<std::size_t>(inv.tenantId())];
+            if (t.queueEmpty())
+                continue; // completion detected lazily by allDone()
+            bool idle = true;
+            for (int s : inv.smSet()) {
+                if (!sms_[static_cast<std::size_t>(s)]->idle()) {
+                    idle = false;
+                    break;
+                }
+            }
+            if (!idle)
+                continue;
+            completeInvocation(inv);
+            const KernelLaunch *next = t.popQueue();
+            --pendingLaunches_;
+            // makeInvocation may reallocate invocations_; inv is dead
+            // after this point.
+            KernelInvocation &fresh = makeInvocation(t, *next);
+            launchHooks(fresh);
+        }
+    }
+
+    // Token-bucket limiter step for every tenant (busy accounting also
+    // feeds the occupancy gauges and the fairness bench).
+    if (explicitTenants_) {
+        for (auto &t : tenants_) {
+            int busy = 0;
+            for (int s : t.smSet()) {
+                if (sms_[static_cast<std::size_t>(s)]->residentBlocks() >
+                    0)
+                    ++busy;
+            }
+            bool pending = false;
+            for (const auto &inv : invocations_) {
+                if (inv.active() && inv.tenantId() == t.id() &&
+                    inv.gwde().hasBlocks()) {
+                    pending = true;
+                    break;
+                }
+            }
+            t.tickLimiter(busy, pending);
+        }
+    }
 }
 
 GpuTop::Snapshot
@@ -216,28 +445,13 @@ GpuTop::takeSnapshot() const
 }
 
 void
-GpuTop::beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles)
+GpuTop::beginRun(const std::string &label, Cycle max_sm_cycles)
 {
-    currentKernel_ = &kernel;
-    currentKernelName_ = kernel.info().name;
-    gwde_.launch(kernel);
-    for (const auto &sm : sms_)
-        sm->setKernel(&kernel);
-
-    if (controller_)
-        controller_->onKernelLaunch(*this);
-
+    currentKernelName_ = label;
     run_.before = takeSnapshot();
     run_.cycleLimit = smDomain_.cycle() + max_sm_cycles;
     run_.active = true;
     ffAtRunStart_ = fastForwardedCycles_;
-
-    if (tracer_)
-        tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
-                                      smDomain_.cycle(),
-                                      kernel.info().name.c_str()));
-
-    distributeBlocks();
 }
 
 bool
@@ -246,6 +460,13 @@ GpuTop::tryFastForward()
     // A per-cycle observer may read (or mutate) anything; never skip
     // an edge it would have seen.
     if (observer_)
+        return false;
+
+    // Multi-tenant runs (explicit partitions, queued relaunches or
+    // several in-flight invocations) take the slow path outright: the
+    // limiter and relaunch logic act on arbitrary cycles.
+    if (explicitTenants_ || pendingLaunches_ > 0 ||
+        invocations_.size() != 1)
         return false;
 
     const Cycle sm_now = smDomain_.cycle();
@@ -287,7 +508,8 @@ GpuTop::tryFastForward()
     // Safety net: pending work the barrier phase would distribute means
     // the machine is not quiescent. (Normally unreachable — the last
     // distributeBlocks() already satisfied every willing SM.)
-    if (gwde_.hasBlocks())
+    const KernelInvocation &inv = invocations_.front();
+    if (inv.active() && inv.gwde().hasBlocks())
         for (const auto &sm : sms_)
             if (sm->wantsBlock())
                 return fail();
@@ -333,10 +555,10 @@ GpuTop::tryFastForward()
     return true;
 }
 
-RunMetrics
-GpuTop::finishRun(const KernelLaunch &kernel)
+void
+GpuTop::runLoop()
 {
-    while (!kernelDone()) {
+    while (!allDone()) {
         if (cfg_.fastPath && tryFastForward())
             continue;
         if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
@@ -348,6 +570,7 @@ GpuTop::finishRun(const KernelLaunch &kernel)
             energy_.setDomainStates(smDomain_.state(), memDomain_.state());
             const Cycle mem_now = memDomain_.cycle();
             tickSms(mem_now);
+            serviceTenants();
             distributeBlocks();
             if (controller_)
                 controller_->onSmCycle(*this);
@@ -357,28 +580,36 @@ GpuTop::finishRun(const KernelLaunch &kernel)
                 traceEpoch(smDomain_.cycle());
 
             if (smDomain_.cycle() > run_.cycleLimit)
-                panic("kernel '", kernel.info().name,
+                panic("kernel '", currentKernelName_,
                       "' exceeded its cycle limit at SM cycle ",
                       smDomain_.cycle(), "; likely a deadlock");
         }
     }
+}
 
+RunMetrics
+GpuTop::finishRun()
+{
     if (controller_)
         controller_->onKernelComplete(*this);
 
-    if (tracer_) {
-        tracer_->emit(makeStringEvent(TraceEventKind::KernelEnd,
-                                      smDomain_.cycle(),
-                                      kernel.info().name.c_str()));
+    // Close out invocations still open — the common case: the final
+    // invocation's completion is detected lazily by allDone(), so its
+    // KernelEnd lands here, after the controller's completion hook,
+    // exactly like the legacy single-kernel path.
+    for (auto &inv : invocations_)
+        if (inv.active())
+            completeInvocation(inv);
+
+    if (tracer_)
         tracer_->drainRings(smDomain_.cycle());
-    }
 
     const Snapshot before = run_.before;
     const Snapshot after = takeSnapshot();
     run_.active = false;
 
     RunMetrics m;
-    m.kernel = kernel.info().name;
+    m.kernel = currentKernelName_;
     m.smCycles = after.smCycles - before.smCycles;
     m.memCycles = after.memCycles - before.memCycles;
     m.instructions = after.instructions - before.instructions;
@@ -434,8 +665,89 @@ GpuTop::finishRun(const KernelLaunch &kernel)
 RunMetrics
 GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
 {
-    beginRun(kernel, max_sm_cycles);
-    return finishRun(kernel);
+    if (numTenants() > 1)
+        fatal("runKernel: the device is partitioned into ", numTenants(),
+              " tenants; use enqueueKernel()/runTenants()");
+    if (pendingLaunches_ > 0)
+        fatal("runKernel: queued launches pending; use runTenants()");
+
+    invocations_.clear();
+    makeInvocation(tenants_.front(), kernel);
+    if (controller_)
+        controller_->onKernelLaunch(*this);
+    beginRun(kernel.info().name, max_sm_cycles);
+    launchHooks(invocations_.front());
+    distributeBlocks();
+    runLoop();
+    return finishRun();
+}
+
+RunMetrics
+GpuTop::runTenants(Cycle max_sm_cycles, const std::string &label)
+{
+    if (run_.active)
+        fatal("runTenants: a run is already in flight");
+    if (pendingLaunches_ == 0)
+        fatal("runTenants: nothing queued; enqueueKernel() first");
+
+    // Bind every tenant's queue head before the first controller
+    // callback, mirroring the legacy launch ordering.
+    invocations_.clear();
+    std::fill(smInvocation_.begin(), smInvocation_.end(), -1);
+    std::vector<std::size_t> initial;
+    for (auto &t : tenants_) {
+        if (t.queueEmpty())
+            continue;
+        const KernelLaunch *k = t.popQueue();
+        --pendingLaunches_;
+        makeInvocation(t, *k);
+        initial.push_back(invocations_.size() - 1);
+    }
+    if (controller_)
+        controller_->onKernelLaunch(*this);
+
+    std::string lbl = label;
+    if (lbl.empty()) {
+        if (initial.size() == 1) {
+            lbl = invocations_[initial.front()].name();
+        } else {
+            lbl = "concurrent";
+            for (std::size_t i : initial)
+                lbl += ":" + invocations_[i].name();
+        }
+    }
+    beginRun(lbl, max_sm_cycles);
+    for (std::size_t i : initial)
+        launchHooks(invocations_[i]);
+    distributeBlocks();
+    runLoop();
+    return finishRun();
+}
+
+RunMetrics
+GpuTop::runKernelsConcurrent(
+    const std::vector<const KernelLaunch *> &kernels, Cycle max_sm_cycles)
+{
+    EQ_ASSERT(!kernels.empty(), "runKernelsConcurrent with no kernels");
+
+    // Compatibility shim: one unlimited tenant per kernel on the
+    // legacy round-robin partition (SM i -> kernel i % nk).
+    std::vector<TenantSpec> specs;
+    std::string co_name = "concurrent";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        specs.push_back({"t" + std::to_string(i), 1.0});
+        co_name += ":" + kernels[i]->info().name;
+    }
+    configureTenants(specs, PartitionPolicy::RoundRobin);
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        enqueueKernel(static_cast<int>(i), *kernels[i]);
+
+    RunMetrics m = runTenants(max_sm_cycles, co_name);
+
+    // Restore the implicit whole-device tenant so a later runKernel()
+    // sees the classic configuration.
+    configureTenants({});
+    return m;
 }
 
 RunMetrics
@@ -444,157 +756,98 @@ GpuTop::resumeKernel(const KernelLaunch &kernel)
     if (!run_.active)
         fatal("resumeKernel: the restored state is not inside a kernel "
               "invocation");
+    if (invocations_.size() != 1)
+        fatal("resumeKernel: the restored run has ", invocations_.size(),
+              " invocations; use resumeTenants()");
     if (kernel.info().name != currentKernelName_)
         fatal("resumeKernel: state was saved inside kernel '",
               currentKernelName_, "', not '", kernel.info().name, "'");
-    currentKernel_ = &kernel;
-    for (const auto &sm : sms_)
-        sm->rebindKernel(&kernel);
-    return finishRun(kernel);
+    invocations_.front().rebindLaunch(&kernel);
+    for (int s : invocations_.front().smSet())
+        sms_[static_cast<std::size_t>(s)]->rebindKernel(&kernel);
+    runLoop();
+    return finishRun();
 }
 
 RunMetrics
-GpuTop::runKernelsConcurrent(
-    const std::vector<const KernelLaunch *> &kernels, Cycle max_sm_cycles)
+GpuTop::resumeTenants(const std::vector<const KernelLaunch *> &kernels)
 {
-    EQ_ASSERT(!kernels.empty(), "runKernelsConcurrent with no kernels");
-    const int nk = static_cast<int>(kernels.size());
-
-    // One GWDE per kernel; SM i belongs to kernel i % nk.
-    std::vector<GlobalWorkDistributor> gwdes(
-        static_cast<std::size_t>(nk));
-    for (int k = 0; k < nk; ++k)
-        gwdes[static_cast<std::size_t>(k)].launch(
-            *kernels[static_cast<std::size_t>(k)]);
-
-    currentKernel_ = nullptr; // no single identity for the co-run
-    for (int s = 0; s < numSms(); ++s)
-        sms_[static_cast<std::size_t>(s)]->setKernel(
-            kernels[static_cast<std::size_t>(s % nk)]);
-
-    if (controller_)
-        controller_->onKernelLaunch(*this);
-
-    std::string co_name = "concurrent";
-    for (const auto *k : kernels)
-        co_name += ":" + k->info().name;
-    if (tracer_)
-        tracer_->emit(makeStringEvent(TraceEventKind::KernelBegin,
-                                      smDomain_.cycle(),
-                                      co_name.c_str()));
-
-    auto distribute = [&] {
-        bool assigned = true;
-        while (assigned) {
-            assigned = false;
-            for (int s = 0; s < numSms(); ++s) {
-                auto &gwde = gwdes[static_cast<std::size_t>(s % nk)];
-                auto &sm = *sms_[static_cast<std::size_t>(s)];
-                if (gwde.hasBlocks() && sm.wantsBlock()) {
-                    sm.assignBlock(gwde.takeBlock());
-                    assigned = true;
-                }
-            }
-        }
-    };
-
-    auto all_done = [&] {
-        for (const auto &g : gwdes)
-            if (g.hasBlocks())
-                return false;
-        for (const auto &sm : sms_)
-            if (!sm->idle())
-                return false;
-        return true;
-    };
-
-    const Snapshot before = takeSnapshot();
-    const Cycle cycle_limit = smDomain_.cycle() + max_sm_cycles;
-
-    distribute();
-    while (!all_done()) {
-        if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
-            memDomain_.advance();
-            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
-            memSystem_.tick(memDomain_.cycle());
-        } else {
-            smDomain_.advance();
-            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
-            const Cycle mem_now = memDomain_.cycle();
-            tickSms(mem_now);
-            distribute();
-            if (controller_)
-                controller_->onSmCycle(*this);
-            if (observer_)
-                observer_(*this);
-            if (tracer_ && tracer_->epochBoundary(smDomain_.cycle()))
-                traceEpoch(smDomain_.cycle());
-            if (smDomain_.cycle() > cycle_limit)
-                panic("concurrent kernel run exceeded the cycle limit (",
-                      max_sm_cycles, " SM cycles); likely a deadlock");
-        }
+    if (!run_.active)
+        fatal("resumeTenants: the restored state is not inside a run");
+    for (auto &inv : invocations_) {
+        if (!inv.active())
+            continue;
+        const KernelLaunch *match = nullptr;
+        for (const auto *k : kernels)
+            if (k->info().name == inv.name())
+                match = k;
+        if (!match)
+            fatal("resumeTenants: no launch named '", inv.name(),
+                  "' offered for an in-flight invocation");
+        inv.rebindLaunch(match);
+        for (int s : inv.smSet())
+            sms_[static_cast<std::size_t>(s)]->rebindKernel(match);
     }
+    for (auto &t : tenants_)
+        t.rebindQueue(kernels);
+    runLoop();
+    return finishRun();
+}
 
-    if (controller_)
-        controller_->onKernelComplete(*this);
-
-    if (tracer_) {
-        tracer_->emit(makeStringEvent(TraceEventKind::KernelEnd,
-                                      smDomain_.cycle(),
-                                      co_name.c_str()));
-        tracer_->drainRings(smDomain_.cycle());
+void
+GpuTop::rebuildSmInvocationMap()
+{
+    std::fill(smInvocation_.begin(), smInvocation_.end(), -1);
+    for (std::size_t i = 0; i < invocations_.size(); ++i) {
+        if (!invocations_[i].active())
+            continue;
+        for (int s : invocations_[i].smSet())
+            smInvocation_[static_cast<std::size_t>(s)] =
+                static_cast<int>(i);
     }
-
-    const Snapshot after = takeSnapshot();
-    RunMetrics m;
-    m.kernel = co_name;
-    m.smCycles = after.smCycles - before.smCycles;
-    m.memCycles = after.memCycles - before.memCycles;
-    m.instructions = after.instructions - before.instructions;
-    m.dynamicJoules = after.dynamicJoules - before.dynamicJoules;
-
-    std::array<Tick, numVfStates> sm_res{};
-    std::array<Tick, numVfStates> mem_res{};
-    Tick elapsed = 0;
-    for (std::size_t i = 0; i < numVfStates; ++i) {
-        sm_res[i] = after.smResidency[i] - before.smResidency[i];
-        mem_res[i] = after.memResidency[i] - before.memResidency[i];
-        elapsed += sm_res[i];
-    }
-    m.smResidency = sm_res;
-    m.memResidency = mem_res;
-    m.seconds = static_cast<double>(elapsed) /
-                static_cast<double>(ticksPerSecond);
-    m.staticJoules = energy_.staticJoules(sm_res, mem_res);
-
-    m.l1Hits = after.l1Hits - before.l1Hits;
-    m.l1Misses = after.l1Misses - before.l1Misses;
-    m.l2Hits = after.l2Hits - before.l2Hits;
-    m.l2Misses = after.l2Misses - before.l2Misses;
-    m.dramAccesses = after.dramAccesses - before.dramAccesses;
-    m.dramRowHits = after.dramRowHits - before.dramRowHits;
-    m.outcomeCycles = (after.smCycles - before.smCycles) *
-                      static_cast<std::uint64_t>(numSms());
-    return m;
 }
 
 void
 GpuTop::visitState(StateVisitor &v, ControllerMismatch on_mismatch)
 {
-    v.beginSection("gpu", 1);
+    v.beginSection("gpu", 2);
     v.field(smDomain_);
     v.field(memDomain_);
     v.field(energy_);
     v.field(memSystem_);
     for (const auto &sm : sms_)
         v.field(*sm);
-    v.field(gwde_);
+
+    // v2: tenants and first-class invocations replace the former
+    // device-global work-distribution cursor, so a checkpoint taken
+    // mid-co-run carries every in-flight grid (docs/MULTI_TENANT.md).
+    std::uint64_t n_tenants = tenants_.size();
+    v.field(n_tenants);
+    if (!v.saving())
+        tenants_.assign(static_cast<std::size_t>(n_tenants), Tenant{});
+    for (auto &t : tenants_)
+        t.visitState(v);
+    v.field(explicitTenants_);
+
+    std::uint64_t n_inv = invocations_.size();
+    v.field(n_inv);
+    if (!v.saving())
+        invocations_.assign(static_cast<std::size_t>(n_inv),
+                            KernelInvocation{});
+    for (auto &inv : invocations_)
+        inv.visitState(v);
+
     v.field(run_.active);
     v.field(run_.before);
     v.field(run_.cycleLimit);
     v.field(currentKernelName_);
-    if (!v.saving())
-        currentKernel_ = nullptr; // resumeKernel() re-binds the launch
+    if (!v.saving()) {
+        rebuildSmInvocationMap();
+        pendingLaunches_ = 0;
+        for (const auto &t : tenants_)
+            pendingLaunches_ += t.queueSize();
+        defineTenantGauges();
+    }
 
     // Controller state is tagged with the policy name so a restore can
     // tell whether the stored state belongs to the live controller.

@@ -1,7 +1,7 @@
 /**
  * @file
  * The whole GPU: clock domains, SMs, memory system, energy accounting,
- * work distribution and the controller hook.
+ * tenants, kernel invocations and the controller hook.
  */
 
 #ifndef EQ_GPU_GPU_TOP_HH
@@ -16,10 +16,11 @@
 #include "common/types.hh"
 #include "gpu/controller.hh"
 #include "gpu/gpu_config.hh"
-#include "gpu/gwde.hh"
+#include "gpu/kernel_invocation.hh"
 #include "gpu/kernel_launch.hh"
 #include "gpu/metrics.hh"
 #include "gpu/sm.hh"
+#include "gpu/tenant.hh"
 #include "mem/memory_system.hh"
 #include "power/energy_model.hh"
 #include "sim/clock_domain.hh"
@@ -47,11 +48,17 @@ enum class ControllerMismatch
 /**
  * Top-level GPU model.
  *
- * runKernel() executes one kernel invocation to completion, interleaving
- * the SM and memory clock domains in global-time order, and returns the
- * invocation's metrics. The instance retains architectural state (VF
- * states, controller state, L2 contents) across invocations, so an
- * application is simulated by calling runKernel repeatedly.
+ * Execution is organised around first-class KernelInvocation objects,
+ * each owning a launch, an SM partition and a work-distribution
+ * cursor, grouped under Tenants (docs/MULTI_TENANT.md):
+ *
+ *  - runKernel() executes one whole-device invocation to completion
+ *    and returns its metrics. The instance retains architectural state
+ *    (VF states, controller state, L2 contents) across invocations, so
+ *    an application is simulated by calling runKernel repeatedly.
+ *  - configureTenants()/enqueueKernel()/runTenants() co-run several
+ *    tenants on exclusive SM partitions, each with a queue of
+ *    invocations and an optional SM-utilization limiter.
  */
 class GpuTop
 {
@@ -104,9 +111,10 @@ class GpuTop
     /**
      * Install the epoch-level tracer (non-owning; nullptr detaches).
      * Attaches a ring to every SM, registers the built-in device
-     * gauges, and drains at every tracer epoch boundary inside the
-     * serial barrier phase — so a threads=N trace is byte-identical to
-     * threads=1 (docs/TRACING.md).
+     * gauges (plus per-tenant gauges when tenants are configured), and
+     * drains at every tracer epoch boundary inside the serial barrier
+     * phase — so a threads=N trace is byte-identical to threads=1
+     * (docs/TRACING.md).
      */
     void setTracer(Tracer *tracer);
 
@@ -114,7 +122,9 @@ class GpuTop
     Tracer *tracer() const { return tracer_; }
 
     /**
-     * Execute one kernel invocation to completion.
+     * Execute one kernel invocation to completion on the whole device.
+     * Requires the default single-tenant configuration (co-runs go
+     * through enqueueKernel()/runTenants()).
      *
      * @param kernel The launch to run.
      * @param max_sm_cycles Safety valve: panic when exceeded.
@@ -122,19 +132,74 @@ class GpuTop
     RunMetrics runKernel(const KernelLaunch &kernel,
                          Cycle max_sm_cycles = 2'000'000'000ULL);
 
+    // --- Multi-tenant residency (docs/MULTI_TENANT.md).
+
+    /**
+     * Carve the device into exclusive per-tenant SM partitions. An
+     * empty spec list restores the implicit single tenant owning every
+     * SM with no utilization limit. Not allowed mid-run. Tenant
+     * smLimit values must lie in (0, 1]; 1.0 disables the limiter.
+     */
+    void configureTenants(const std::vector<TenantSpec> &specs,
+                          PartitionPolicy policy =
+                              PartitionPolicy::RoundRobin);
+
+    int numTenants() const { return static_cast<int>(tenants_.size()); }
+    Tenant &tenant(int i) { return tenants_[static_cast<std::size_t>(i)]; }
+    const Tenant &tenant(int i) const
+    {
+        return tenants_[static_cast<std::size_t>(i)];
+    }
+
+    /** True after configureTenants() with a non-empty spec list. */
+    bool explicitTenants() const { return explicitTenants_; }
+
+    /** Queue a launch on one tenant (non-owning pointer). */
+    void enqueueKernel(int tenant, const KernelLaunch &kernel);
+
+    /**
+     * Run every tenant's queue to completion: each tenant launches its
+     * queue head on its partition, relaunching the next queued kernel
+     * the cycle an invocation's grid drains. Returns combined
+     * whole-device metrics; per-tenant attribution comes from
+     * tenant(i) counters and the invocations() records.
+     *
+     * @param label RunMetrics::kernel for the co-run ("" derives
+     *        "concurrent:a:b..." from the initial launches).
+     */
+    RunMetrics runTenants(Cycle max_sm_cycles = 2'000'000'000ULL,
+                          const std::string &label = "");
+
     /**
      * Execute several kernels concurrently, each on its own SM
-     * partition (SM i runs kernels[i % kernels.size()]), as newer GPU
-     * generations allow — the scenario the paper cites as motivation
-     * for per-SM decision making (Section I). Equalizer's per-SM block
-     * tuning still works per kernel; the single global VRM must
-     * compromise between the kernels' frequency preferences.
+     * partition (SM i runs kernels[i % kernels.size()]).
+     *
+     * @deprecated Compatibility shim over configureTenants()/
+     * enqueueKernel()/runTenants() — one unlimited tenant per kernel,
+     * round-robin partition (bit-identical to the pre-tenant
+     * implementation; single-kernel co-runs are bit-identical to
+     * runKernel()). New code should drive the tenant API directly.
      *
      * @return Combined metrics over the co-run.
      */
     RunMetrics
     runKernelsConcurrent(const std::vector<const KernelLaunch *> &kernels,
                          Cycle max_sm_cycles = 2'000'000'000ULL);
+
+    /** Invocations of the current (or most recent) run. */
+    const std::vector<KernelInvocation> &invocations() const
+    {
+        return invocations_;
+    }
+
+    /**
+     * Index into invocations() of the invocation owning SM @p s, or -1
+     * when the SM is not bound to any current invocation.
+     */
+    int invocationOnSm(int s) const
+    {
+        return smInvocation_[static_cast<std::size_t>(s)];
+    }
 
     /**
      * Request a VF state change on one domain. Takes effect after the
@@ -162,12 +227,18 @@ class GpuTop
 
     MemorySystem &memorySystem() { return memSystem_; }
     EnergyModel &energy() { return energy_; }
-    GlobalWorkDistributor &gwde() { return gwde_; }
 
     const GpuConfig &config() const { return cfg_; }
 
-    /** The launch currently (or most recently) running. */
-    const KernelLaunch *currentKernel() const { return currentKernel_; }
+    /**
+     * The launch currently (or most recently) running, when the run
+     * has a single identity; nullptr during multi-invocation co-runs.
+     */
+    const KernelLaunch *currentKernel() const
+    {
+        return invocations_.size() == 1 ? invocations_.front().launch()
+                                        : nullptr;
+    }
 
     /** Uniformly set every SM's target block count. */
     void setAllTargetBlocks(int target);
@@ -175,11 +246,11 @@ class GpuTop
     // --- Checkpoint / restore / fork (docs/SNAPSHOT.md).
 
     /**
-     * Serialize or restore the complete architectural state. On load,
-     * @p on_mismatch decides what happens when the stored controller
-     * state belongs to a different policy than the live controller.
-     * Not supported while runKernelsConcurrent() is in flight (its
-     * work-distribution cursors live on its stack).
+     * Serialize or restore the complete architectural state, including
+     * tenants and in-flight invocations — a checkpoint taken mid-co-run
+     * round-trips (resumeTenants()). On load, @p on_mismatch decides
+     * what happens when the stored controller state belongs to a
+     * different policy than the live controller.
      */
     void visitState(StateVisitor &v, ControllerMismatch on_mismatch);
 
@@ -210,15 +281,25 @@ class GpuTop
     void forkFrom(const GpuTop &parent);
 
     /**
-     * Continue a kernel invocation that was mid-flight when the state
-     * was saved. @p kernel must be the same launch (validated by name);
-     * instruction streams are rebuilt by deterministic replay. Returns
-     * the full invocation's metrics, bit-identical to an uninterrupted
-     * runKernel().
+     * Continue a single-invocation run that was mid-flight when the
+     * state was saved. @p kernel must be the same launch (validated by
+     * name); instruction streams are rebuilt by deterministic replay.
+     * Returns the full invocation's metrics, bit-identical to an
+     * uninterrupted runKernel().
      */
     RunMetrics resumeKernel(const KernelLaunch &kernel);
 
-    /** True when the (restored) state is inside a kernel invocation. */
+    /**
+     * Continue a (possibly multi-tenant) run that was mid-flight when
+     * the state was saved. @p kernels must offer a launch for every
+     * in-flight invocation and queued launch (matched by name).
+     * Returns the whole run's combined metrics, bit-identical to an
+     * uninterrupted runTenants().
+     */
+    RunMetrics
+    resumeTenants(const std::vector<const KernelLaunch *> &kernels);
+
+    /** True when the (restored) state is inside a run. */
     bool midKernel() const { return run_.active; }
 
     /**
@@ -229,7 +310,7 @@ class GpuTop
      */
     Cycle fastForwardedCycles() const { return fastForwardedCycles_; }
 
-    /** Name of the in-flight (or most recent) launch. */
+    /** Label of the in-flight (or most recent) run. */
     const std::string &currentKernelName() const
     {
         return currentKernelName_;
@@ -255,20 +336,20 @@ class GpuTop
     };
 
     /**
-     * Everything runKernel() keeps on its stack between launch and
-     * completion, promoted to a member so a checkpoint taken mid-run
-     * carries it and resumeKernel() can re-enter the loop.
+     * Everything a run keeps between launch and completion, promoted
+     * to a member so a checkpoint taken mid-run carries it and
+     * resumeKernel()/resumeTenants() can re-enter the loop.
      */
     struct RunContext
     {
         bool active = false; ///< between beginRun() and run completion
-        Snapshot before;     ///< baseline for the invocation's metrics
+        Snapshot before;     ///< baseline for the run's metrics
         Cycle cycleLimit = 0;
     };
 
     Snapshot takeSnapshot() const;
     void distributeBlocks();
-    bool kernelDone() const;
+    bool allDone() const;
     void tickSms(Cycle mem_now);
 
     /**
@@ -280,11 +361,51 @@ class GpuTop
      * replaying their per-cycle bookkeeping analytically. Returns true
      * when at least one edge was skipped. Bit-identical to ticking by
      * construction; the caller re-enters the normal loop either way.
+     * Vetoed outright during multi-tenant runs (docs/MULTI_TENANT.md).
      */
     bool tryFastForward();
-    void beginRun(const KernelLaunch &kernel, Cycle max_sm_cycles);
-    RunMetrics finishRun(const KernelLaunch &kernel);
+
+    /** Whole-run setup shared by runKernel() and runTenants(). */
+    void beginRun(const std::string &label, Cycle max_sm_cycles);
+
+    /**
+     * Create the invocation for @p tenant's launch @p kernel, bind its
+     * SM partition and reset its work cursor. Hook/trace emission is
+     * separate (launchHooks) so a run's initial launches bind every SM
+     * before the first controller callback, like the legacy paths.
+     */
+    KernelInvocation &makeInvocation(Tenant &tenant,
+                                     const KernelLaunch &kernel);
+
+    /** onInvocationLaunch + KernelBegin trace event for @p inv. */
+    void launchHooks(KernelInvocation &inv);
+
+    /**
+     * Record completion on @p inv (metrics deltas over its SM set),
+     * unbind its SMs and emit its KernelEnd trace event.
+     */
+    void completeInvocation(KernelInvocation &inv);
+
+    /**
+     * Per-SM-cycle tenant bookkeeping in the serial barrier phase:
+     * token-bucket limiter steps, and — when a tenant's grid drains —
+     * invocation completion and relaunch of its next queued kernel.
+     * Skipped entirely for the implicit single tenant (zero overhead
+     * on the classic path).
+     */
+    void serviceTenants();
+
+    /** The interleaved SM/memory clock loop until allDone(). */
+    void runLoop();
+
+    /** Completion hooks, final trace events and the metrics delta. */
+    RunMetrics finishRun();
+
     void traceEpoch(Cycle cycle);
+    void defineTenantGauges();
+    void rebuildSmInvocationMap();
+    std::uint64_t instructionsOn(const std::vector<int> &sm_set) const;
+    std::uint64_t blocksCompletedOn(const std::vector<int> &sm_set) const;
 
     GpuConfig cfg_;
     EnergyModel energy_;
@@ -292,15 +413,27 @@ class GpuTop
     ClockDomain memDomain_;
     MemorySystem memSystem_;
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
-    GlobalWorkDistributor gwde_;
 
     GpuController *controller_ = nullptr;
     ParallelExecutor *executor_ = nullptr;
     Tracer *tracer_ = nullptr;
     std::function<void(GpuTop &)> observer_;
-    const KernelLaunch *currentKernel_ = nullptr;
 
-    /// Serialized identity of currentKernel_ (pointers don't persist).
+    /// Exclusive SM partitions; always at least the implicit tenant 0.
+    std::vector<Tenant> tenants_;
+    bool explicitTenants_ = false;
+
+    /// The current (or most recent) run's invocations.
+    std::vector<KernelInvocation> invocations_;
+
+    /// SM index -> invocations_ index (-1 = unbound). Rebuilt, never
+    /// serialized.
+    std::vector<int> smInvocation_;
+
+    /// Launches still queued across all tenants (cheap loop guard).
+    std::size_t pendingLaunches_ = 0;
+
+    /// Serialized label of the run (single kernel: its name).
     std::string currentKernelName_;
     RunContext run_;
 

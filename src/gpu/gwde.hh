@@ -14,9 +14,14 @@ namespace equalizer
 {
 
 /**
- * Tracks the grid of the running kernel and dispenses block ids in
- * launch order. SMs pull blocks when they have (and want) a free slot;
+ * Tracks one invocation's grid and dispenses block ids in launch
+ * order. SMs pull blocks when they have (and want) a free slot;
  * Equalizer's concurrency throttling works by making SMs stop pulling.
+ *
+ * One distributor per KernelInvocation: the cursor is invocation
+ * state, not device state, so several grids can be in flight on
+ * disjoint SM partitions and a mid-co-run checkpoint serializes every
+ * cursor (kernel_invocation.hh).
  */
 class GlobalWorkDistributor
 {

@@ -1,0 +1,26 @@
+#include "kernel_invocation.hh"
+
+namespace equalizer
+{
+
+void
+KernelInvocation::visitState(StateVisitor &v)
+{
+    v.beginSection("kinv", 1);
+    v.field(tenantId_);
+    v.field(name_);
+    v.field(sms_);
+    gwde_.visitState(v);
+    v.field(active_);
+    v.field(launchCycle_);
+    v.field(completeCycle_);
+    v.field(instrBefore_);
+    v.field(blocksBefore_);
+    v.field(instructions_);
+    v.field(blocksCompleted_);
+    if (!v.saving())
+        launch_ = nullptr; // resumeTenants()/resumeKernel() re-binds
+    v.endSection();
+}
+
+} // namespace equalizer

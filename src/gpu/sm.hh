@@ -48,8 +48,16 @@ class StreamingMultiprocessor
     StreamingMultiprocessor(const GpuConfig &cfg, SmId id,
                             MemorySystem &mem_system, EnergyModel &energy);
 
-    /** Bind a kernel; clears all slots and per-kernel state. */
+    /**
+     * Bind a kernel; clears all slots and per-kernel state. The SM has
+     * no whole-device assumption: under multi-tenant residency each
+     * invocation binds only its own SM partition (kernel_invocation.hh)
+     * and neighbouring SMs may run a different kernel.
+     */
     void setKernel(const KernelLaunch *kernel);
+
+    /** The bound launch (nullptr before any bind or after a restore). */
+    const KernelLaunch *kernel() const { return kernel_; }
 
     /** Effective block-slot count for the bound kernel. */
     int blockSlotCount() const { return blockSlots_; }

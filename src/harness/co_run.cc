@@ -1,0 +1,66 @@
+#include "co_run.hh"
+
+#include <memory>
+
+#include "common/log.hh"
+#include "kernels/kernel_zoo.hh"
+#include "kernels/synthetic_kernel.hh"
+
+namespace equalizer
+{
+
+CoRunResult
+runCoRun(GpuTop &gpu, const std::vector<CoRunTenant> &tenants,
+         const CoRunOptions &opts)
+{
+    if (tenants.empty())
+        fatal("runCoRun: no tenants");
+
+    std::vector<TenantSpec> specs;
+    for (const auto &t : tenants)
+        specs.push_back({t.name, t.smLimit});
+    gpu.configureTenants(specs, opts.partition);
+
+    // The launches must outlive the run; invocation objects keep only
+    // non-owning pointers.
+    std::vector<std::unique_ptr<SyntheticKernel>> launches;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const auto &entry = KernelZoo::byName(tenants[i].kernel);
+        const int n_inv =
+            opts.allInvocations ? entry.params.invocationCount() : 1;
+        for (int inv = 0; inv < n_inv; ++inv) {
+            launches.push_back(
+                std::make_unique<SyntheticKernel>(entry.params, inv));
+            gpu.enqueueKernel(static_cast<int>(i), *launches.back());
+        }
+    }
+
+    CoRunResult result;
+    result.combined = gpu.runTenants(opts.maxSmCycles);
+
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const Tenant &t = gpu.tenant(static_cast<int>(i));
+        TenantRunMetrics row;
+        row.tenant = t.name();
+        row.kernels = tenants[i].kernel;
+        row.smLimit = t.smLimit();
+        row.smCount = static_cast<int>(t.smSet().size());
+        row.dispatchedBlocks = t.dispatchedBlocks();
+        row.busySmCycles = t.busySmCycles();
+        row.limitedCycles = t.limitedCycles();
+        row.elapsedCycles = t.elapsedCycles();
+        for (const auto &inv : gpu.invocations()) {
+            if (inv.tenantId() != static_cast<int>(i))
+                continue;
+            row.blocksCompleted += inv.blocksCompleted();
+            row.instructions += inv.instructions();
+        }
+        result.tenants.push_back(std::move(row));
+    }
+
+    // Back to the classic whole-device configuration.
+    gpu.configureTenants({});
+    return result;
+}
+
+} // namespace equalizer

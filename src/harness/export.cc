@@ -293,6 +293,46 @@ ExportSink::addResult(const std::string &kernel, const std::string &policy,
     addMetrics(kernel, policy, -1, total);
 }
 
+ExportSink
+ExportSink::tenantTable()
+{
+    return ExportSink({
+        "tenant",
+        "kernels",
+        "policy",
+        "sm_limit",
+        "sm_count",
+        "dispatched_blocks",
+        "blocks_completed",
+        "instructions",
+        "busy_sm_cycles",
+        "limited_cycles",
+        "elapsed_cycles",
+        "occupancy_share",
+    });
+}
+
+void
+ExportSink::addTenantMetrics(const std::string &policy,
+                             const TenantRunMetrics &t)
+{
+    row({
+        ExportCell::str(t.tenant),
+        ExportCell::str(t.kernels),
+        ExportCell::str(policy),
+        ExportCell::num(t.smLimit),
+        ExportCell::integer(t.smCount),
+        ExportCell::integer(
+            static_cast<std::int64_t>(t.dispatchedBlocks)),
+        ExportCell::integer(static_cast<std::int64_t>(t.blocksCompleted)),
+        ExportCell::integer(static_cast<std::int64_t>(t.instructions)),
+        ExportCell::integer(static_cast<std::int64_t>(t.busySmCycles)),
+        ExportCell::integer(static_cast<std::int64_t>(t.limitedCycles)),
+        ExportCell::integer(static_cast<std::int64_t>(t.elapsedCycles)),
+        ExportCell::num(t.occupancyShare()),
+    });
+}
+
 const std::vector<std::string> &
 MetricsExporter::columns()
 {

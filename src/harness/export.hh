@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gpu/metrics.hh"
+#include "gpu/tenant.hh"
 
 namespace equalizer
 {
@@ -102,6 +103,15 @@ class ExportSink
     void addResult(const std::string &kernel, const std::string &policy,
                    const RunMetrics &total,
                    const std::vector<RunMetrics> &invocations);
+
+    // --- The per-tenant attribution schema (multi-tenant co-runs).
+
+    /** A sink with the standard TenantRunMetrics column set. */
+    static ExportSink tenantTable();
+
+    /** Append one per-tenant attribution row of a co-run. */
+    void addTenantMetrics(const std::string &policy,
+                          const TenantRunMetrics &t);
 
   private:
     friend class MetricsExporter; // bare-array JSON compatibility
