@@ -25,6 +25,10 @@
  *   shim=1 (default) appends a "shim:lbm" row timing a single-kernel
  *   run through the deprecated runKernelsConcurrent() tenant shim, so
  *   the perf gate tracks the tenant machinery's overhead too.
+ *   serve=1 (default) appends a "serve:poisson" row timing a fixed
+ *   preemptive serving workload through RequestServer
+ *   (docs/SERVING.md), so serving throughput is regression-gated and
+ *   its simulated cycle count pinned from day one.
  */
 
 #include <algorithm>
@@ -36,6 +40,8 @@
 #include "gpu/gpu_top.hh"
 #include "harness/export.hh"
 #include "kernels/synthetic_kernel.hh"
+#include "serve/arrival.hh"
+#include "serve/server.hh"
 
 using namespace equalizer;
 using namespace equalizer::bench;
@@ -67,6 +73,50 @@ struct TimedShim
     double wallSeconds = 0.0;
     RunMetrics metrics;
 };
+
+/** Best-of-@p repeats wall seconds for the fixed serving workload. */
+struct TimedServe
+{
+    double wallSeconds = 0.0;
+    ServeSummary summary;
+};
+
+/**
+ * The perf-gate serving workload: a fixed-seed Poisson burst over a
+ * mixed short/long kernel set under the preemptive dispatcher, so the
+ * gate times the whole serving stack — quantum stepping, checkpoint
+ * shelves, dispatch bookkeeping. Deterministic by construction, so
+ * its executed-cycle count is pinned by the exact sm_cycles check.
+ */
+TimedServe
+timeServe(const GpuConfig &gcfg, int repeats)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Poisson;
+    spec.count = 24;
+    spec.ratePerMcycle = 120.0;
+    spec.seed = 7;
+    spec.mix = {{"sgemm", 1}, {"bp-1", 0}, {"prtcl-2", 0}};
+    const std::vector<ServeRequest> requests = generateArrivals(spec);
+
+    ServeOptions opts;
+    opts.policy = ServePolicy::Preempt;
+    opts.kernelScale = 0.25;
+
+    TimedServe out;
+    for (int i = 0; i < repeats; ++i) {
+        GpuTop gpu(gcfg);
+        RequestServer server(gpu, opts);
+        const auto start = std::chrono::steady_clock::now();
+        ServeReport rep = server.serve(requests);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (i == 0 || wall.count() < out.wallSeconds)
+            out.wallSeconds = wall.count();
+        out.summary = std::move(rep.summary);
+    }
+    return out;
+}
 
 TimedShim
 timeShim(const GpuConfig &gcfg, int repeats, const ZooEntry &entry)
@@ -122,6 +172,8 @@ main(int argc, char **argv)
              "also time fast_path=0 and report the speedup", {}},
             {"shim",
              "append a shim:lbm row through runKernelsConcurrent", {}},
+            {"serve",
+             "append a serve:poisson row through RequestServer", {}},
             {"export", "write the throughput table (.csv/.json)",
              {"json"}},
         });
@@ -133,6 +185,7 @@ main(int argc, char **argv)
     const bool fast_path = cfg.getBool("fast_path", true);
     const bool compare = cfg.getBool("compare", false);
     const bool shim = cfg.getBool("shim", true);
+    const bool serve = cfg.getBool("serve", true);
     const std::string export_path = cfg.getString("export", "");
 
     GpuConfig gcfg = GpuConfig::gtx480();
@@ -237,6 +290,38 @@ main(int argc, char **argv)
             "shim:lbm", fmt(run.wallSeconds, 3),
             std::to_string(run.metrics.smCycles), fmt(cps, 0), "0",
             fmt(0.0, 3)};
+        if (compare) {
+            cells.insert(cells.end(), {ExportCell::num(run.wallSeconds),
+                                       ExportCell::num(1.0)});
+            row.insert(row.end(), {fmt(run.wallSeconds, 3), "1.00x"});
+        }
+        sink.row(cells);
+        t.row(row);
+    }
+
+    if (serve) {
+        // The serving stack end to end; sm_cycles here is the summed
+        // device cycles executed across requests (the serving wall
+        // clock adds modeled preemption costs on top, so it is not a
+        // device quantity).
+        progress("timing serve:poisson (RequestServer, preempt)");
+        const TimedServe run = timeServe(gcfg, repeats);
+        const double cps =
+            run.wallSeconds > 0.0
+                ? static_cast<double>(run.summary.executedCycles) /
+                      run.wallSeconds
+                : 0.0;
+        std::vector<ExportCell> cells = {
+            ExportCell::str("serve:poisson"),
+            ExportCell::num(run.wallSeconds),
+            ExportCell::integer(
+                static_cast<std::int64_t>(run.summary.executedCycles)),
+            ExportCell::num(cps), ExportCell::integer(0),
+            ExportCell::num(0.0)};
+        std::vector<std::string> row = {
+            "serve:poisson", fmt(run.wallSeconds, 3),
+            std::to_string(run.summary.executedCycles), fmt(cps, 0),
+            "0", fmt(0.0, 3)};
         if (compare) {
             cells.insert(cells.end(), {ExportCell::num(run.wallSeconds),
                                        ExportCell::num(1.0)});

@@ -41,8 +41,21 @@
  *                per-tenant rows)
  *   sm_limit=<f1,f2,...> (per-tenant SM-utilization caps in (0, 1],
  *                matched positionally to tenants=; missing entries
- *                default to 1.0 = unlimited)
+ *                default to 1.0 = unlimited; 0 is rejected, values
+ *                above 1.0 clamp to unlimited with a warning)
  *   partition=rr|blocked (SM partition policy for tenants=)
+ *   serve=1 (request-serving mode — docs/SERVING.md: an open-loop
+ *                arrival stream of kernel-launch requests dispatched
+ *                onto the device in bounded quanta; policy= then
+ *                selects the dispatcher: fcfs, sjf or preempt)
+ *   arrival=poisson|replay rate=<req/Mcycle> requests=<n> seed=<n>
+ *   serve_kernels=<k[:prio],...> (Poisson kernel mix with optional
+ *                priorities; larger = more urgent)
+ *   replay=<path> (request trace to replay; arrival=replay)
+ *   arrival_out=<path> (write the generated schedule as a replayable
+ *                request trace)
+ *   slo_us=<f> quantum=<cycles> preempt_cost=<cycles>
+ *   serve_scale=<f> (shrink factor for request grids, default 0.25)
  *   list=1 (print the roster, the knob registry and exit)
  *
  * Unknown keys are rejected with a "did you mean" suggestion;
@@ -60,6 +73,8 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "kernels/kernel_zoo.hh"
+#include "serve/arrival.hh"
+#include "serve/server.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/trace_reader.hh"
 
@@ -138,6 +153,27 @@ knobs()
          "per-tenant SM-utilization caps in (0, 1], matched to tenants=",
          {}},
         {"partition", "tenant SM partition policy: rr or blocked", {}},
+        {"serve",
+         "request-serving mode: policy= becomes the dispatcher "
+         "(fcfs, sjf, preempt)",
+         {}},
+        {"arrival", "arrival process: poisson or replay", {}},
+        {"rate", "mean arrivals per million wall cycles", {}},
+        {"requests", "requests to generate (arrival=poisson)", {}},
+        {"seed", "arrival-stream random seed", {}},
+        {"serve_kernels",
+         "Poisson kernel mix: name[:priority],... (larger = more "
+         "urgent)",
+         {}},
+        {"replay", "request trace to replay (arrival=replay)", {}},
+        {"arrival_out",
+         "write the generated schedule as a replayable request trace",
+         {}},
+        {"slo_us", "per-request latency deadline in microseconds", {}},
+        {"quantum", "SM cycles per dispatcher quantum", {}},
+        {"preempt_cost",
+         "modeled save/restore cost of a preemption, in cycles", {}},
+        {"serve_scale", "shrink factor for request grids", {}},
         {"list", "print the roster and knob registry, then exit", {}},
     };
     return k;
@@ -161,6 +197,175 @@ splitCsv(const std::string &csv)
         pos = comma + 1;
     }
     return out;
+}
+
+/**
+ * The serve= mode (docs/SERVING.md): generate or replay an open-loop
+ * arrival schedule, dispatch it onto one device in bounded quanta
+ * under the selected policy, and report latency percentiles,
+ * throughput and SLO violations.
+ */
+int
+runServeMode(const Config &cfg, const GpuConfig &gcfg)
+{
+    const std::string policy_name = cfg.getString("policy", "fcfs");
+    const ServePolicy policy = servePolicyFromString(policy_name);
+    const int threads = static_cast<int>(cfg.getInt("threads", 0));
+
+    ArrivalSpec spec;
+    spec.kind = arrivalKindFromString(cfg.getString("arrival", "poisson"));
+    spec.count = static_cast<int>(cfg.getInt("requests", 32));
+    spec.ratePerMcycle = cfg.getDouble("rate", 20.0);
+    spec.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    spec.replayPath = cfg.getString("replay", "");
+    const double slo_us = cfg.getDouble("slo_us", 0.0);
+    spec.sloCycles =
+        static_cast<Cycle>(slo_us * gcfg.smNominalHz / 1e6);
+    for (const auto &item :
+         splitCsv(cfg.getString("serve_kernels", "prtcl-2:1,bp-1:0"))) {
+        ArrivalMix mix;
+        const std::size_t colon = item.find(':');
+        mix.kernel = item.substr(0, colon);
+        if (colon != std::string::npos)
+            mix.priority = std::stoi(item.substr(colon + 1));
+        KernelZoo::byName(mix.kernel); // validate early
+        spec.mix.push_back(std::move(mix));
+    }
+    if (spec.kind == ArrivalKind::Replay && spec.replayPath.empty())
+        fatal("arrival=replay needs replay=<path>");
+
+    const std::vector<ServeRequest> requests = generateArrivals(spec);
+    if (const std::string out = cfg.getString("arrival_out", "");
+        !out.empty())
+        writeRequestTrace(out, requests);
+
+    GpuTop gpu(gcfg, PowerConfig::gtx480());
+    std::unique_ptr<ParallelExecutor> executor;
+    if (threads != 1) {
+        executor = std::make_unique<ParallelExecutor>(threads);
+        gpu.setParallelExecutor(executor.get());
+    }
+
+    const std::string trace_path = cfg.getString("trace", "");
+    TraceConfig tcfg;
+    tcfg.bufKb = static_cast<std::size_t>(cfg.getInt("trace_buf_kb", 64));
+    tcfg.epochCycles =
+        static_cast<Cycle>(cfg.getInt("trace_epoch", 4096));
+    std::unique_ptr<MemoryTraceSink> trace_mem;
+    std::unique_ptr<FileTraceSink> trace_file;
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_path.empty()) {
+        if (chromeTracePath(trace_path)) {
+            trace_mem = std::make_unique<MemoryTraceSink>();
+            tracer = std::make_unique<Tracer>(tcfg, *trace_mem);
+        } else {
+            trace_file = std::make_unique<FileTraceSink>(trace_path);
+            tracer = std::make_unique<Tracer>(tcfg, *trace_file);
+        }
+        gpu.setTracer(tracer.get());
+    }
+
+    ServeOptions opts;
+    opts.policy = policy;
+    opts.quantumCycles =
+        static_cast<Cycle>(cfg.getInt("quantum", 2048));
+    opts.preemptSaveCycles =
+        static_cast<Cycle>(cfg.getInt("preempt_cost", 512));
+    opts.preemptRestoreCycles = opts.preemptSaveCycles;
+    opts.kernelScale = cfg.getDouble("serve_scale", 0.25);
+
+    std::cout << "serving " << requests.size() << " request(s), "
+              << toString(spec.kind) << " arrivals, dispatcher "
+              << toString(policy) << ", " << gcfg.numSms << " SMs, "
+              << gpu.simThreads() << " sim thread(s)\n";
+
+    RequestServer server(gpu, opts);
+    const ServeReport rep = server.serve(requests);
+
+    if (tracer) {
+        gpu.setTracer(nullptr);
+        tracer->finish();
+        if (trace_mem) {
+            writeChromeTraceFile(
+                TraceReader::fromBytes(trace_mem->serialize()),
+                trace_path);
+        }
+        std::cout << "trace: " << tracer->eventsRecorded()
+                  << " events -> " << trace_path;
+        if (tracer->eventsDropped() > 0)
+            std::cout << " (" << tracer->eventsDropped()
+                      << " dropped; raise trace_buf_kb)";
+        std::cout << '\n';
+    }
+
+    if (const std::string export_path = cfg.getString("export", "");
+        !export_path.empty()) {
+        ExportSink sink = ExportSink::serveTable();
+        const ServeSummary &s = rep.summary;
+        sink.meta("policy", ExportCell::str(s.policy));
+        sink.meta("arrival", ExportCell::str(toString(spec.kind)));
+        sink.meta("seed", ExportCell::integer(
+                              static_cast<std::int64_t>(spec.seed)));
+        sink.meta("requests", ExportCell::integer(s.requests));
+        sink.meta("completed", ExportCell::integer(s.completed));
+        sink.meta("preemptions", ExportCell::integer(s.preemptions));
+        sink.meta("wall_cycles",
+                  ExportCell::integer(
+                      static_cast<std::int64_t>(s.wallCycles)));
+        sink.meta("p50_latency",
+                  ExportCell::integer(
+                      static_cast<std::int64_t>(s.p50Latency)));
+        sink.meta("p95_latency",
+                  ExportCell::integer(
+                      static_cast<std::int64_t>(s.p95Latency)));
+        sink.meta("p99_latency",
+                  ExportCell::integer(
+                      static_cast<std::int64_t>(s.p99Latency)));
+        sink.meta("mean_latency", ExportCell::num(s.meanLatency));
+        sink.meta("throughput_per_mcycle",
+                  ExportCell::num(s.throughputPerMcycle));
+        sink.meta("slo_violations",
+                  ExportCell::integer(s.sloViolations));
+        sink.meta("slo_violation_rate",
+                  ExportCell::num(s.sloViolationRate));
+        for (const auto &rec : rep.records)
+            sink.addServeRequest(s.policy, rec);
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
+    }
+
+    const ServeSummary &s = rep.summary;
+    banner("serving");
+    TablePrinter t({"metric", "value"});
+    t.row({"dispatcher", s.policy});
+    t.row({"requests", std::to_string(s.requests)});
+    t.row({"completed", std::to_string(s.completed)});
+    t.row({"preemptions", std::to_string(s.preemptions)});
+    t.row({"wall cycles", std::to_string(s.wallCycles)});
+    t.row({"executed cycles", std::to_string(s.executedCycles)});
+    t.row({"throughput", fmt(s.throughputPerMcycle, 3) + " req/Mcycle"});
+    t.print();
+
+    banner("latency (SM cycles)");
+    TablePrinter lat({"percentile", "cycles"});
+    lat.row({"p50", std::to_string(s.p50Latency)});
+    lat.row({"p95", std::to_string(s.p95Latency)});
+    lat.row({"p99", std::to_string(s.p99Latency)});
+    lat.row({"max", std::to_string(s.maxLatency)});
+    lat.row({"mean", fmt(s.meanLatency, 1)});
+    lat.print();
+
+    if (spec.sloCycles > 0 || s.sloViolations > 0) {
+        banner("SLO");
+        TablePrinter slo({"metric", "value"});
+        slo.row({"deadline", std::to_string(spec.sloCycles) +
+                                 " cycles (" + fmt(slo_us, 1) + " us)"});
+        slo.row({"violations", std::to_string(s.sloViolations)});
+        slo.row({"violation rate", pct(s.sloViolationRate)});
+        slo.print();
+    }
+    return 0;
 }
 
 /**
@@ -189,7 +394,7 @@ runTenantsMode(const Config &cfg, const GpuConfig &gcfg)
         t.kernel = kernels[i];
         t.name = "t" + std::to_string(i);
         if (i < limits.size())
-            t.smLimit = std::stod(limits[i]);
+            t.smLimit = parseSmLimitKnob(limits[i]);
         tenants.push_back(std::move(t));
     }
 
@@ -332,6 +537,9 @@ main(int argc, char **argv)
     if (cfg.getString("scheduler", "lrr") == "gto")
         gcfg.scheduler = SchedulerPolicy::GreedyThenOldest;
     gcfg.fastPath = cfg.getBool("fast_path", gcfg.fastPath);
+
+    if (cfg.getBool("serve", false))
+        return runServeMode(cfg, gcfg);
 
     if (!cfg.getString("tenants", "").empty())
         return runTenantsMode(cfg, gcfg);

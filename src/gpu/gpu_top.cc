@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/log.hh"
+#include "gpu/scheduler_core.hh"
 
 namespace equalizer
 {
@@ -455,7 +456,7 @@ GpuTop::beginRun(const std::string &label, Cycle max_sm_cycles)
 }
 
 bool
-GpuTop::tryFastForward()
+GpuTop::tryFastForward(Cycle sm_stop)
 {
     // A per-cycle observer may read (or mutate) anything; never skip
     // an edge it would have seen.
@@ -526,6 +527,11 @@ GpuTop::tryFastForward()
     }
     // The edge after the limit must run slowly so the panic fires.
     sm_bound = std::min(sm_bound, run_.cycleLimit + 1);
+    // A bounded step() pauses once its quantum boundary is reached, so
+    // a skip may land exactly on it but never beyond. (sm_stop !=
+    // noWakeup, so the + 1 cannot wrap.)
+    if (sm_stop != noWakeup)
+        sm_bound = std::min(sm_bound, sm_stop + 1);
 
     // Convert both bounds to global time and skip every edge strictly
     // before the earliest, leaving that edge for the slow path. VF
@@ -553,38 +559,6 @@ GpuTop::tryFastForward()
     ffBackoff_ = 1;
     ffBackoffUntil_ = 0;
     return true;
-}
-
-void
-GpuTop::runLoop()
-{
-    while (!allDone()) {
-        if (cfg_.fastPath && tryFastForward())
-            continue;
-        if (memDomain_.nextEdge() <= smDomain_.nextEdge()) {
-            memDomain_.advance();
-            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
-            memSystem_.tick(memDomain_.cycle());
-        } else {
-            smDomain_.advance();
-            energy_.setDomainStates(smDomain_.state(), memDomain_.state());
-            const Cycle mem_now = memDomain_.cycle();
-            tickSms(mem_now);
-            serviceTenants();
-            distributeBlocks();
-            if (controller_)
-                controller_->onSmCycle(*this);
-            if (observer_)
-                observer_(*this);
-            if (tracer_ && tracer_->epochBoundary(smDomain_.cycle()))
-                traceEpoch(smDomain_.cycle());
-
-            if (smDomain_.cycle() > run_.cycleLimit)
-                panic("kernel '", currentKernelName_,
-                      "' exceeded its cycle limit at SM cycle ",
-                      smDomain_.cycle(), "; likely a deadlock");
-        }
-    }
 }
 
 RunMetrics
@@ -665,63 +639,19 @@ GpuTop::finishRun()
 RunMetrics
 GpuTop::runKernel(const KernelLaunch &kernel, Cycle max_sm_cycles)
 {
-    if (numTenants() > 1)
-        fatal("runKernel: the device is partitioned into ", numTenants(),
-              " tenants; use enqueueKernel()/runTenants()");
-    if (pendingLaunches_ > 0)
-        fatal("runKernel: queued launches pending; use runTenants()");
-
-    invocations_.clear();
-    makeInvocation(tenants_.front(), kernel);
-    if (controller_)
-        controller_->onKernelLaunch(*this);
-    beginRun(kernel.info().name, max_sm_cycles);
-    launchHooks(invocations_.front());
-    distributeBlocks();
-    runLoop();
-    return finishRun();
+    SchedulerCore core(*this);
+    core.launchKernel(kernel, max_sm_cycles);
+    core.run();
+    return core.finish();
 }
 
 RunMetrics
 GpuTop::runTenants(Cycle max_sm_cycles, const std::string &label)
 {
-    if (run_.active)
-        fatal("runTenants: a run is already in flight");
-    if (pendingLaunches_ == 0)
-        fatal("runTenants: nothing queued; enqueueKernel() first");
-
-    // Bind every tenant's queue head before the first controller
-    // callback, mirroring the legacy launch ordering.
-    invocations_.clear();
-    std::fill(smInvocation_.begin(), smInvocation_.end(), -1);
-    std::vector<std::size_t> initial;
-    for (auto &t : tenants_) {
-        if (t.queueEmpty())
-            continue;
-        const KernelLaunch *k = t.popQueue();
-        --pendingLaunches_;
-        makeInvocation(t, *k);
-        initial.push_back(invocations_.size() - 1);
-    }
-    if (controller_)
-        controller_->onKernelLaunch(*this);
-
-    std::string lbl = label;
-    if (lbl.empty()) {
-        if (initial.size() == 1) {
-            lbl = invocations_[initial.front()].name();
-        } else {
-            lbl = "concurrent";
-            for (std::size_t i : initial)
-                lbl += ":" + invocations_[i].name();
-        }
-    }
-    beginRun(lbl, max_sm_cycles);
-    for (std::size_t i : initial)
-        launchHooks(invocations_[i]);
-    distributeBlocks();
-    runLoop();
-    return finishRun();
+    SchedulerCore core(*this);
+    core.launchTenants(max_sm_cycles, label);
+    core.run();
+    return core.finish();
 }
 
 RunMetrics
@@ -753,45 +683,19 @@ GpuTop::runKernelsConcurrent(
 RunMetrics
 GpuTop::resumeKernel(const KernelLaunch &kernel)
 {
-    if (!run_.active)
-        fatal("resumeKernel: the restored state is not inside a kernel "
-              "invocation");
-    if (invocations_.size() != 1)
-        fatal("resumeKernel: the restored run has ", invocations_.size(),
-              " invocations; use resumeTenants()");
-    if (kernel.info().name != currentKernelName_)
-        fatal("resumeKernel: state was saved inside kernel '",
-              currentKernelName_, "', not '", kernel.info().name, "'");
-    invocations_.front().rebindLaunch(&kernel);
-    for (int s : invocations_.front().smSet())
-        sms_[static_cast<std::size_t>(s)]->rebindKernel(&kernel);
-    runLoop();
-    return finishRun();
+    SchedulerCore core(*this);
+    core.adoptResumedKernel(kernel);
+    core.run();
+    return core.finish();
 }
 
 RunMetrics
 GpuTop::resumeTenants(const std::vector<const KernelLaunch *> &kernels)
 {
-    if (!run_.active)
-        fatal("resumeTenants: the restored state is not inside a run");
-    for (auto &inv : invocations_) {
-        if (!inv.active())
-            continue;
-        const KernelLaunch *match = nullptr;
-        for (const auto *k : kernels)
-            if (k->info().name == inv.name())
-                match = k;
-        if (!match)
-            fatal("resumeTenants: no launch named '", inv.name(),
-                  "' offered for an in-flight invocation");
-        inv.rebindLaunch(match);
-        for (int s : inv.smSet())
-            sms_[static_cast<std::size_t>(s)]->rebindKernel(match);
-    }
-    for (auto &t : tenants_)
-        t.rebindQueue(kernels);
-    runLoop();
-    return finishRun();
+    SchedulerCore core(*this);
+    core.adoptResumedTenants(kernels);
+    core.run();
+    return core.finish();
 }
 
 void

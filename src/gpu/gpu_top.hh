@@ -317,6 +317,13 @@ class GpuTop
     }
 
   private:
+    /**
+     * The steppable run loop (gpu/scheduler_core.hh) owns the launch
+     * preambles and the clock-edge interleave that used to live here;
+     * runKernel()/runTenants()/resume*() are thin clients of it.
+     */
+    friend class SchedulerCore;
+
     struct Snapshot
     {
         Cycle smCycles = 0;
@@ -362,8 +369,13 @@ class GpuTop
      * when at least one edge was skipped. Bit-identical to ticking by
      * construction; the caller re-enters the normal loop either way.
      * Vetoed outright during multi-tenant runs (docs/MULTI_TENANT.md).
+     *
+     * @param sm_stop Absolute SM cycle of the caller's quantum
+     *     boundary (noWakeup = unbounded): a skip may land exactly on
+     *     it but never beyond, so SchedulerCore::step(n) pauses on
+     *     time even when the whole quantum is skippable.
      */
-    bool tryFastForward();
+    bool tryFastForward(Cycle sm_stop);
 
     /** Whole-run setup shared by runKernel() and runTenants(). */
     void beginRun(const std::string &label, Cycle max_sm_cycles);
@@ -394,9 +406,6 @@ class GpuTop
      * on the classic path).
      */
     void serviceTenants();
-
-    /** The interleaved SM/memory clock loop until allDone(). */
-    void runLoop();
 
     /** Completion hooks, final trace events and the metrics delta. */
     RunMetrics finishRun();

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SchedulerCore: the reentrant, externally-steppable run loop.
+ *
+ * The monolithic run-to-completion loop that used to live inside
+ * GpuTop::runKernel()/runTenants() is factored out here so external
+ * drivers (the request-serving frontend in src/serve/, tests, future
+ * schedulers) can advance the device by bounded quanta and regain
+ * control between them. The loop body is unchanged — pausing between
+ * clock edges is state-neutral, so a run advanced via any sequence of
+ * step() calls is bit-identical to a single run-to-completion call at
+ * any threads= setting, with fast-path skips clamped to the quantum
+ * boundary and tracing/checkpointing behaviour untouched.
+ *
+ * All mutable run state stays inside GpuTop (its RunContext is part of
+ * the checkpoint image); a SchedulerCore is a cheap, stateless-ish
+ * handle that can be recreated at will — e.g. after loadStateBuffer()
+ * — and re-entered via the adopt*() calls.
+ */
+
+#ifndef EQ_GPU_SCHEDULER_CORE_HH
+#define EQ_GPU_SCHEDULER_CORE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/metrics.hh"
+
+namespace equalizer
+{
+
+class GpuTop;
+class KernelLaunch;
+
+/** What a bounded step() observed when it returned. */
+enum class StepStatus
+{
+    Running,      ///< quantum exhausted; work remains
+    Drained,      ///< every invocation completed; call finish()
+    PreemptPoint, ///< paused at a requested preemption point
+};
+
+const char *toString(StepStatus status);
+
+class SchedulerCore
+{
+  public:
+    explicit SchedulerCore(GpuTop &gpu) : gpu_(gpu) {}
+
+    /**
+     * Bind @p kernel on the implicit whole-device tenant and arm the
+     * run — guards, invocation creation, controller launch hook and
+     * initial block distribution, exactly as the legacy
+     * GpuTop::runKernel() preamble. Follow with step()/run().
+     */
+    void launchKernel(const KernelLaunch &kernel,
+                      Cycle max_sm_cycles = 2'000'000'000ULL);
+
+    /**
+     * Bind every tenant's queue head and arm a multi-tenant run,
+     * exactly as the legacy GpuTop::runTenants() preamble.
+     */
+    void launchTenants(Cycle max_sm_cycles = 2'000'000'000ULL,
+                       const std::string &label = "");
+
+    /**
+     * Re-enter a run restored by loadStateBuffer(): validate that the
+     * image is mid-kernel and rebind the (non-serialized) launch
+     * pointer, as the legacy GpuTop::resumeKernel() preamble.
+     */
+    void adoptResumedKernel(const KernelLaunch &kernel);
+
+    /** Multi-invocation flavour of adoptResumedKernel(). */
+    void
+    adoptResumedTenants(const std::vector<const KernelLaunch *> &kernels);
+
+    /**
+     * Advance the device by at most @p n_cycles SM cycles (memory
+     * edges interleave on global time as always). noWakeup means
+     * unbounded. Returns Drained when every invocation completed
+     * (then call finish() exactly once), PreemptPoint when a
+     * requestPreempt() was pending (the device is at a clock-edge
+     * boundary: checkpoint, swap or just keep stepping), Running when
+     * the quantum was exhausted first.
+     */
+    StepStatus step(Cycle n_cycles = noWakeup);
+
+    /** step() until Drained (run-to-completion). */
+    void run();
+
+    /** Completion hooks, final trace events and the metrics delta. */
+    RunMetrics finish();
+
+    /**
+     * Ask the next step() to pause at its next loop iteration and
+     * return PreemptPoint instead of advancing further. Sticky until
+     * delivered; delivered at most once per request.
+     */
+    void requestPreempt() { preemptRequested_ = true; }
+
+    /** True while the armed/adopted run has not been finish()ed. */
+    bool active() const;
+
+    GpuTop &gpu() { return gpu_; }
+
+  private:
+    GpuTop &gpu_;
+    bool preemptRequested_ = false;
+};
+
+} // namespace equalizer
+
+#endif // EQ_GPU_SCHEDULER_CORE_HH

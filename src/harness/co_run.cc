@@ -9,6 +9,34 @@
 namespace equalizer
 {
 
+double
+parseSmLimitKnob(const std::string &text)
+{
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+        v = std::stod(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size())
+        fatal("sm_limit entry '", text, "' is not a number");
+    if (v == 0.0)
+        fatal("sm_limit=0 would starve the tenant: the token bucket "
+              "pays sm_limit x |SMs| tokens per cycle, so 0 never "
+              "dispatches a block; use a share in (0, 1], or omit the "
+              "entry for unlimited");
+    if (v < 0.0)
+        fatal("sm_limit entry '", text, "' is negative; use a share "
+              "in (0, 1]");
+    if (v > 1.0) {
+        warn("sm_limit=", text, " exceeds 1.0 (the whole partition); "
+             "clamping to 1.0 = unlimited");
+        v = 1.0;
+    }
+    return v;
+}
+
 CoRunResult
 runCoRun(GpuTop &gpu, const std::vector<CoRunTenant> &tenants,
          const CoRunOptions &opts)

@@ -54,6 +54,16 @@ struct CoRunResult
 CoRunResult runCoRun(GpuTop &gpu, const std::vector<CoRunTenant> &tenants,
                      const CoRunOptions &opts = {});
 
+/**
+ * Parse and validate one sm_limit= knob entry. The token bucket pays
+ * sm_limit x |SMs| tokens per cycle, so the boundary values need
+ * explicit treatment at the knob level rather than silent misbehaviour
+ * in the limiter: 0 would never dispatch a block (fatal with an
+ * explanation), negatives are rejected, and shares above 1.0 are
+ * clamped to 1.0 (= unlimited) with a warning.
+ */
+double parseSmLimitKnob(const std::string &text);
+
 } // namespace equalizer
 
 #endif // EQ_HARNESS_CO_RUN_HH

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
 
 namespace equalizer
 {
@@ -330,6 +332,95 @@ ExportSink::addTenantMetrics(const std::string &policy,
         ExportCell::integer(static_cast<std::int64_t>(t.limitedCycles)),
         ExportCell::integer(static_cast<std::int64_t>(t.elapsedCycles)),
         ExportCell::num(t.occupancyShare()),
+    });
+}
+
+ExportSink
+ExportSink::serveTable()
+{
+    return ExportSink({
+        "request",
+        "kernel",
+        "policy",
+        "priority",
+        "arrival_cycle",
+        "start_cycle",
+        "complete_cycle",
+        "latency_cycles",
+        "executed_cycles",
+        "preemptions",
+        "slo_cycles",
+        "slo_violated",
+        "completed",
+    });
+}
+
+void
+ExportSink::addServeRequest(const std::string &policy,
+                            const RequestRecord &rec)
+{
+    row({
+        ExportCell::integer(rec.req.id),
+        ExportCell::str(rec.req.kernel),
+        ExportCell::str(policy),
+        ExportCell::integer(rec.req.priority),
+        ExportCell::integer(
+            static_cast<std::int64_t>(rec.req.arrivalCycle)),
+        ExportCell::integer(static_cast<std::int64_t>(rec.startCycle)),
+        ExportCell::integer(
+            static_cast<std::int64_t>(rec.completeCycle)),
+        ExportCell::integer(
+            static_cast<std::int64_t>(rec.latencyCycles)),
+        ExportCell::integer(
+            static_cast<std::int64_t>(rec.executedCycles)),
+        ExportCell::integer(rec.preemptions),
+        ExportCell::integer(
+            static_cast<std::int64_t>(rec.req.sloCycles)),
+        ExportCell::integer(rec.sloViolated ? 1 : 0),
+        ExportCell::integer(rec.completed ? 1 : 0),
+    });
+}
+
+ExportSink
+ExportSink::serveSummaryTable()
+{
+    return ExportSink({
+        "policy",
+        "requests",
+        "completed",
+        "preemptions",
+        "wall_cycles",
+        "executed_cycles",
+        "p50_latency",
+        "p95_latency",
+        "p99_latency",
+        "max_latency",
+        "mean_latency",
+        "throughput_per_mcycle",
+        "slo_violations",
+        "slo_violation_rate",
+    });
+}
+
+void
+ExportSink::addServeSummary(const ServeSummary &s)
+{
+    row({
+        ExportCell::str(s.policy),
+        ExportCell::integer(s.requests),
+        ExportCell::integer(s.completed),
+        ExportCell::integer(s.preemptions),
+        ExportCell::integer(static_cast<std::int64_t>(s.wallCycles)),
+        ExportCell::integer(
+            static_cast<std::int64_t>(s.executedCycles)),
+        ExportCell::integer(static_cast<std::int64_t>(s.p50Latency)),
+        ExportCell::integer(static_cast<std::int64_t>(s.p95Latency)),
+        ExportCell::integer(static_cast<std::int64_t>(s.p99Latency)),
+        ExportCell::integer(static_cast<std::int64_t>(s.maxLatency)),
+        ExportCell::num(s.meanLatency),
+        ExportCell::num(s.throughputPerMcycle),
+        ExportCell::integer(s.sloViolations),
+        ExportCell::num(s.sloViolationRate),
     });
 }
 

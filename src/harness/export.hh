@@ -30,6 +30,9 @@
 namespace equalizer
 {
 
+struct RequestRecord;
+struct ServeSummary;
+
 /** Serialization formats an ExportSink can write. */
 enum class ExportFormat
 {
@@ -112,6 +115,22 @@ class ExportSink
     /** Append one per-tenant attribution row of a co-run. */
     void addTenantMetrics(const std::string &policy,
                           const TenantRunMetrics &t);
+
+    // --- The serving schema (docs/SERVING.md): per-request rows and
+    // the aggregate latency/throughput/SLO summary.
+
+    /** A sink with the per-request serving column set. */
+    static ExportSink serveTable();
+
+    /** Append one request lifetime row of a serve() run. */
+    void addServeRequest(const std::string &policy,
+                         const RequestRecord &rec);
+
+    /** A sink with the serving-summary column set. */
+    static ExportSink serveSummaryTable();
+
+    /** Append one serve() run's aggregate metrics row. */
+    void addServeSummary(const ServeSummary &s);
 
   private:
     friend class MetricsExporter; // bare-array JSON compatibility

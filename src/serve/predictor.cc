@@ -1,0 +1,54 @@
+#include "serve/predictor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+Cycle
+RuntimePredictor::prior(const KernelParams &params) const
+{
+    const int resident = std::max(1, numSms_ * params.maxBlocksPerSm);
+    const int waves =
+        (params.totalBlocks + resident - 1) / std::max(1, resident);
+    // Nominal CPI of 2: issue plus an average stall share. The exact
+    // constant washes out through the EWMA ratio; it only anchors the
+    // first, unseen prediction at the right order of magnitude.
+    const double per_wave = static_cast<double>(params.warpsPerBlock) *
+                            static_cast<double>(params.instrsPerWarp) *
+                            2.0;
+    return static_cast<Cycle>(static_cast<double>(waves) * per_wave);
+}
+
+Cycle
+RuntimePredictor::predict(const KernelParams &params) const
+{
+    return static_cast<Cycle>(static_cast<double>(prior(params)) *
+                              ratio(params.name));
+}
+
+void
+RuntimePredictor::observe(const KernelParams &params, Cycle executed_cycles)
+{
+    const Cycle p = prior(params);
+    if (p == 0)
+        return;
+    const double observed = static_cast<double>(executed_cycles) /
+                            static_cast<double>(p);
+    auto it = ratios_.find(params.name);
+    if (it == ratios_.end())
+        ratios_.emplace(params.name, observed);
+    else
+        it->second = alpha_ * observed + (1.0 - alpha_) * it->second;
+}
+
+double
+RuntimePredictor::ratio(const std::string &kernel) const
+{
+    auto it = ratios_.find(kernel);
+    return it == ratios_.end() ? 1.0 : it->second;
+}
+
+} // namespace equalizer

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Online structural runtime predictor for the SJF dispatcher, in the
+ * spirit of Pai et al. (arXiv:1406.6037): a static structural prior —
+ * how many occupancy-limited waves the grid needs times the work per
+ * wave — refined online by a per-kernel EWMA of observed-over-prior
+ * ratios. No oracle: the first prediction for a kernel is the prior,
+ * and every completion tightens it.
+ */
+
+#ifndef EQ_SERVE_PREDICTOR_HH
+#define EQ_SERVE_PREDICTOR_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "kernels/kernel_params.hh"
+
+namespace equalizer
+{
+
+class RuntimePredictor
+{
+  public:
+    explicit RuntimePredictor(int num_sms, double alpha = 0.4)
+        : numSms_(num_sms), alpha_(alpha)
+    {
+    }
+
+    /**
+     * Structural prior in SM cycles: waves(grid, occupancy) x warps
+     * per block x instructions per warp x a nominal CPI. Deliberately
+     * crude — the EWMA ratio absorbs the constant factors.
+     */
+    Cycle prior(const KernelParams &params) const;
+
+    /** prior() scaled by the kernel's learned ratio (1.0 if unseen). */
+    Cycle predict(const KernelParams &params) const;
+
+    /** Fold one observed completion into the kernel's ratio. */
+    void observe(const KernelParams &params, Cycle executed_cycles);
+
+    /** Learned observed/prior ratio (1.0 if unseen). */
+    double ratio(const std::string &kernel) const;
+
+  private:
+    int numSms_;
+    double alpha_;
+    // Ordered map: iteration (and thus any diagnostic dump) is
+    // deterministic.
+    std::map<std::string, double> ratios_;
+};
+
+} // namespace equalizer
+
+#endif // EQ_SERVE_PREDICTOR_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Request-level types of the serving frontend (docs/SERVING.md): a
+ * kernel-launch request with an arrival time, priority and deadline,
+ * and its lifetime record as the dispatcher runs it.
+ *
+ * All serving time is measured on the server's wall clock, in SM
+ * cycles: the accumulated SM cycles the device actually executed plus
+ * the modeled preemption save/restore costs. The device's own clock
+ * is NOT usable as a wall clock — restoring a preempted request's
+ * checkpoint rewinds it.
+ */
+
+#ifndef EQ_SERVE_REQUEST_HH
+#define EQ_SERVE_REQUEST_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace equalizer
+{
+
+/** One kernel-launch request entering the admission queue. */
+struct ServeRequest
+{
+    int id = 0;              ///< dense index, assigned at generation
+    std::string kernel;      ///< kernel zoo name
+    int priority = 0;        ///< larger = more urgent (preempt policy)
+    Cycle arrivalCycle = 0;  ///< wall-clock arrival
+    Cycle sloCycles = 0;     ///< latency deadline; 0 = none
+};
+
+/** What happened to one request, filled in as the server runs it. */
+struct RequestRecord
+{
+    ServeRequest req;
+    bool completed = false;
+    bool sloViolated = false;
+    int preemptions = 0;        ///< times evicted to a shelf buffer
+    Cycle startCycle = 0;       ///< wall clock at first dispatch
+    Cycle completeCycle = 0;    ///< wall clock at completion
+    Cycle latencyCycles = 0;    ///< completeCycle - arrivalCycle
+    Cycle executedCycles = 0;   ///< device SM cycles spent on it
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Nearest-rank percentile (inclusive, @p pct in [0, 100]) of a latency
+ * sample; 0 when the sample is empty. Sorts a copy — fine at serving
+ * request counts.
+ */
+inline Cycle
+latencyPercentile(std::vector<Cycle> sample, double pct)
+{
+    if (sample.empty())
+        return 0;
+    std::sort(sample.begin(), sample.end());
+    const double rank = pct / 100.0 * static_cast<double>(sample.size());
+    std::size_t idx = static_cast<std::size_t>(rank);
+    if (static_cast<double>(idx) < rank)
+        ++idx; // ceil
+    if (idx > 0)
+        --idx; // 1-based rank -> 0-based index
+    if (idx >= sample.size())
+        idx = sample.size() - 1;
+    return sample[idx];
+}
+
+} // namespace equalizer
+
+#endif // EQ_SERVE_REQUEST_HH

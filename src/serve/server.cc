@@ -1,0 +1,295 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "gpu/gpu_top.hh"
+#include "gpu/scheduler_core.hh"
+#include "kernels/kernel_zoo.hh"
+#include "trace/tracer.hh"
+
+namespace equalizer
+{
+
+const char *
+toString(ServePolicy policy)
+{
+    switch (policy) {
+      case ServePolicy::Fcfs:
+        return "fcfs";
+      case ServePolicy::Sjf:
+        return "sjf";
+      case ServePolicy::Preempt:
+        return "preempt";
+    }
+    return "unknown";
+}
+
+ServePolicy
+servePolicyFromString(const std::string &name)
+{
+    if (name == "fcfs")
+        return ServePolicy::Fcfs;
+    if (name == "sjf")
+        return ServePolicy::Sjf;
+    if (name == "preempt")
+        return ServePolicy::Preempt;
+    fatal("unknown serve policy '", name, "' (fcfs, sjf, preempt)");
+}
+
+KernelParams
+scaleKernelParams(KernelParams params, double scale)
+{
+    if (scale >= 1.0)
+        return params;
+    if (scale <= 0.0)
+        fatal("scaleKernelParams: scale must be positive, got ", scale);
+    params.totalBlocks = std::max(
+        1, static_cast<int>(params.totalBlocks * scale + 0.5));
+    params.instrsPerWarp = std::max(
+        32, static_cast<int>(params.instrsPerWarp * scale + 0.5));
+    // Serving requests are single launches; drop the application's
+    // invocation schedule so one request = one grid.
+    params.invocations.clear();
+    params.longBlocks = std::min(params.longBlocks, params.totalBlocks);
+    return params;
+}
+
+RequestServer::RequestServer(GpuTop &gpu, ServeOptions opts)
+    : gpu_(gpu), opts_(opts), predictor_(gpu.numSms())
+{
+    if (gpu_.midKernel())
+        fatal("RequestServer: the device already has a run in flight");
+    if (gpu_.numTenants() > 1)
+        fatal("RequestServer: the device is partitioned into tenants; "
+              "serving drives the whole device");
+    if (opts_.quantumCycles == 0)
+        fatal("RequestServer: quantum must be positive");
+}
+
+const KernelParams &
+RequestServer::paramsFor(const std::string &kernel)
+{
+    auto it = params_.find(kernel);
+    if (it == params_.end())
+        it = params_
+                 .emplace(kernel,
+                          scaleKernelParams(KernelZoo::byName(kernel).params,
+                                            opts_.kernelScale))
+                 .first;
+    return it->second;
+}
+
+const KernelLaunch &
+RequestServer::launchFor(const std::string &kernel)
+{
+    auto it = kernels_.find(kernel);
+    if (it == kernels_.end())
+        it = kernels_
+                 .emplace(kernel, std::make_unique<SyntheticKernel>(
+                                      paramsFor(kernel), 0))
+                 .first;
+    return *it->second;
+}
+
+/**
+ * Queue position to dispatch next. The queue is kept in admission
+ * order, so "first match wins" makes every tie-break deterministic:
+ * fcfs picks the head outright, sjf the earliest-admitted shortest
+ * prediction, preempt the earliest-admitted highest priority.
+ */
+std::size_t
+RequestServer::pickNext(const std::vector<RequestRecord> &records,
+                        const std::vector<int> &queue)
+{
+    EQ_ASSERT(!queue.empty(), "pickNext on an empty queue");
+    switch (opts_.policy) {
+      case ServePolicy::Fcfs:
+        return 0;
+      case ServePolicy::Sjf: {
+        std::size_t best = 0;
+        Cycle best_rem = noWakeup;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const RequestRecord &r =
+                records[static_cast<std::size_t>(queue[i])];
+            const Cycle pred =
+                predictor_.predict(paramsFor(r.req.kernel));
+            const Cycle rem =
+                pred > r.executedCycles ? pred - r.executedCycles : 0;
+            if (rem < best_rem) {
+                best_rem = rem;
+                best = i;
+            }
+        }
+        return best;
+      }
+      case ServePolicy::Preempt: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue.size(); ++i)
+            if (records[static_cast<std::size_t>(queue[i])].req.priority >
+                records[static_cast<std::size_t>(queue[best])]
+                    .req.priority)
+                best = i;
+        return best;
+      }
+    }
+    return 0;
+}
+
+void
+RequestServer::setGauges(std::size_t queued, int running_id)
+{
+    Tracer *tracer = gpu_.tracer();
+    if (!tracer || !tracer->attached())
+        return;
+    auto &g = tracer->gauges();
+    g.set("serve.queue_depth", static_cast<double>(queued));
+    g.set("serve.running_request", static_cast<double>(running_id));
+    g.set("serve.completed", static_cast<double>(completed_));
+    g.set("serve.preemptions", static_cast<double>(preemptions_));
+}
+
+ServeReport
+RequestServer::serve(const std::vector<ServeRequest> &requests)
+{
+    std::vector<RequestRecord> records;
+    for (const auto &r : requests) {
+        RequestRecord rec;
+        rec.req = r;
+        records.push_back(std::move(rec));
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const RequestRecord &a, const RequestRecord &b) {
+                         return a.req.arrivalCycle < b.req.arrivalCycle;
+                     });
+
+    SchedulerCore core(gpu_);
+    std::map<int, std::vector<std::uint8_t>> shelves;
+    std::vector<int> queue; // indices into records, admission order
+    std::size_t next_arrival = 0;
+    int running = -1; // index into records
+    wall_ = 0;
+    completed_ = 0;
+    preemptions_ = 0;
+
+    const auto admit = [&] {
+        while (next_arrival < records.size() &&
+               records[next_arrival].req.arrivalCycle <= wall_)
+            queue.push_back(static_cast<int>(next_arrival++));
+    };
+
+    const auto dispatch = [&](std::size_t pos) {
+        const int idx = queue[pos];
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
+        RequestRecord &rec = records[static_cast<std::size_t>(idx)];
+        const KernelLaunch &launch = launchFor(rec.req.kernel);
+        auto shelf = shelves.find(rec.req.id);
+        if (shelf != shelves.end()) {
+            gpu_.loadStateBuffer(shelf->second);
+            shelves.erase(shelf);
+            core.adoptResumedKernel(launch);
+            wall_ += opts_.preemptRestoreCycles;
+        } else {
+            core.launchKernel(launch, opts_.maxKernelCycles);
+            rec.startCycle = wall_;
+        }
+        running = idx;
+    };
+
+    while (completed_ < static_cast<int>(records.size())) {
+        if (wall_ > opts_.maxWallCycles)
+            fatal("RequestServer: wall clock passed ", opts_.maxWallCycles,
+                  " cycles with ", completed_, "/", records.size(),
+                  " requests done; likely a deadlock");
+        admit();
+        if (running < 0) {
+            if (queue.empty()) {
+                // Idle: jump the wall clock to the next arrival.
+                wall_ = records[next_arrival].req.arrivalCycle;
+                admit();
+            }
+            dispatch(pickNext(records, queue));
+            continue;
+        }
+        if (opts_.policy == ServePolicy::Preempt && !queue.empty()) {
+            const std::size_t cand = pickNext(records, queue);
+            RequestRecord &run = records[static_cast<std::size_t>(running)];
+            if (records[static_cast<std::size_t>(queue[cand])]
+                    .req.priority > run.req.priority) {
+                shelves[run.req.id] = gpu_.saveStateBuffer();
+                wall_ += opts_.preemptSaveCycles;
+                ++run.preemptions;
+                ++preemptions_;
+                queue.push_back(running);
+                running = -1;
+                continue;
+            }
+        }
+
+        RequestRecord &rec = records[static_cast<std::size_t>(running)];
+        setGauges(queue.size(), rec.req.id);
+        const Cycle before = gpu_.smDomain().cycle();
+        const StepStatus status = core.step(opts_.quantumCycles);
+        const Cycle advanced = gpu_.smDomain().cycle() - before;
+        wall_ += advanced;
+        rec.executedCycles += advanced;
+        if (status == StepStatus::Drained) {
+            const RunMetrics m = core.finish();
+            rec.instructions = m.instructions;
+            rec.completed = true;
+            rec.completeCycle = wall_;
+            rec.latencyCycles = wall_ - rec.req.arrivalCycle;
+            rec.sloViolated = rec.req.sloCycles > 0 &&
+                              rec.latencyCycles > rec.req.sloCycles;
+            predictor_.observe(paramsFor(rec.req.kernel),
+                               rec.executedCycles);
+            ++completed_;
+            running = -1;
+        }
+    }
+    setGauges(queue.size(), -1);
+
+    // Report in request-id order, independent of completion order.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const RequestRecord &a, const RequestRecord &b) {
+                         return a.req.id < b.req.id;
+                     });
+
+    ServeReport report;
+    report.summary.policy = toString(opts_.policy);
+    report.summary.requests = static_cast<int>(records.size());
+    report.summary.completed = completed_;
+    report.summary.preemptions = preemptions_;
+    report.summary.wallCycles = wall_;
+    std::vector<Cycle> latencies;
+    double latency_sum = 0.0;
+    for (const auto &rec : records) {
+        report.summary.executedCycles += rec.executedCycles;
+        if (!rec.completed)
+            continue;
+        latencies.push_back(rec.latencyCycles);
+        latency_sum += static_cast<double>(rec.latencyCycles);
+        report.summary.maxLatency =
+            std::max(report.summary.maxLatency, rec.latencyCycles);
+        if (rec.sloViolated)
+            ++report.summary.sloViolations;
+    }
+    report.summary.p50Latency = latencyPercentile(latencies, 50.0);
+    report.summary.p95Latency = latencyPercentile(latencies, 95.0);
+    report.summary.p99Latency = latencyPercentile(latencies, 99.0);
+    if (!latencies.empty()) {
+        report.summary.meanLatency =
+            latency_sum / static_cast<double>(latencies.size());
+        report.summary.sloViolationRate =
+            static_cast<double>(report.summary.sloViolations) /
+            static_cast<double>(latencies.size());
+    }
+    if (wall_ > 0)
+        report.summary.throughputPerMcycle =
+            static_cast<double>(completed_) * 1e6 /
+            static_cast<double>(wall_);
+    report.records = std::move(records);
+    return report;
+}
+
+} // namespace equalizer

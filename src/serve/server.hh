@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The request server (docs/SERVING.md): an admission queue over a
+ * single simulated GPU, advanced in bounded quanta through
+ * SchedulerCore::step(), with three dispatch policies:
+ *
+ *  - fcfs:    run-to-completion in arrival order;
+ *  - sjf:     shortest-predicted-remaining first (non-preemptive),
+ *             runtimes from the online structural RuntimePredictor;
+ *  - preempt: priority-preemptive — a higher-priority arrival evicts
+ *             the running request to a checkpoint shelf
+ *             (saveStateBuffer) and the victim later resumes from it
+ *             (loadStateBuffer + adoptResumedKernel), charged a
+ *             modeled save/restore cost on the wall clock.
+ *
+ * Determinism: the device simulation is bit-identical at any threads=
+ * setting, arrivals are a pure function of the spec, and every
+ * dispatch decision is serial arithmetic over those quantities — so a
+ * whole serve() run (per-request records, percentiles, trace bytes)
+ * is byte-identical across thread counts for a fixed seed.
+ */
+
+#ifndef EQ_SERVE_SERVER_HH
+#define EQ_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/synthetic_kernel.hh"
+#include "serve/predictor.hh"
+#include "serve/request.hh"
+
+namespace equalizer
+{
+
+class GpuTop;
+
+/** Dispatcher policy of the serving frontend. */
+enum class ServePolicy
+{
+    Fcfs,    ///< first-come, first-served, run to completion
+    Sjf,     ///< shortest predicted remaining time, non-preemptive
+    Preempt, ///< priority-preemptive via checkpoint shelves
+};
+
+const char *toString(ServePolicy policy);
+
+/** Parse "fcfs" / "sjf" / "preempt"; fatal() on anything else. */
+ServePolicy servePolicyFromString(const std::string &name);
+
+/** Serving-loop knobs (see docs/SERVING.md for the cost model). */
+struct ServeOptions
+{
+    ServePolicy policy = ServePolicy::Fcfs;
+
+    /** SM cycles per SchedulerCore::step() quantum. */
+    Cycle quantumCycles = 2048;
+
+    /** Modeled wall-clock cost of evicting a request to its shelf. */
+    Cycle preemptSaveCycles = 512;
+
+    /** Modeled wall-clock cost of restoring a shelved request. */
+    Cycle preemptRestoreCycles = 512;
+
+    /**
+     * Shrink factor applied to request grids (totalBlocks and
+     * instrsPerWarp): serving studies sweep many requests, so 0.25
+     * turns a seconds-long zoo kernel into a tens-of-ms request while
+     * keeping its resource character. 1.0 = full-size kernels.
+     */
+    double kernelScale = 1.0;
+
+    /** Per-kernel deadlock valve, as in GpuTop::runKernel(). */
+    Cycle maxKernelCycles = 2'000'000'000ULL;
+
+    /** Whole-run deadlock valve on the wall clock. */
+    Cycle maxWallCycles = 1'000'000'000'000ULL;
+};
+
+/** Aggregate serving metrics of one serve() run. */
+struct ServeSummary
+{
+    std::string policy;
+    int requests = 0;
+    int completed = 0;
+    int preemptions = 0;     ///< total evictions across requests
+    Cycle wallCycles = 0;    ///< wall clock at last completion
+    Cycle executedCycles = 0;///< device SM cycles across requests
+    Cycle p50Latency = 0;
+    Cycle p95Latency = 0;
+    Cycle p99Latency = 0;
+    Cycle maxLatency = 0;
+    double meanLatency = 0.0;
+    double throughputPerMcycle = 0.0; ///< completions per 1e6 wall cyc
+    int sloViolations = 0;
+    double sloViolationRate = 0.0; ///< violations / completed
+};
+
+/** Everything serve() measured. */
+struct ServeReport
+{
+    ServeSummary summary;
+    std::vector<RequestRecord> records; ///< request id order
+};
+
+/**
+ * @p params shrunk by @p scale for serving (floor: one block, 32
+ * instructions); identity when scale >= 1.
+ */
+KernelParams scaleKernelParams(KernelParams params, double scale);
+
+class RequestServer
+{
+  public:
+    /**
+     * @p gpu must be idle (no run in flight) and single-tenant; the
+     * server drives it exclusively for the duration of serve().
+     */
+    RequestServer(GpuTop &gpu, ServeOptions opts);
+
+    /**
+     * Run the whole schedule to completion and report. Requests may
+     * arrive unsorted; they are served in arrival order (ties by id).
+     */
+    ServeReport serve(const std::vector<ServeRequest> &requests);
+
+    const RuntimePredictor &predictor() const { return predictor_; }
+
+  private:
+    const KernelLaunch &launchFor(const std::string &kernel);
+    const KernelParams &paramsFor(const std::string &kernel);
+    std::size_t pickNext(const std::vector<RequestRecord> &records,
+                         const std::vector<int> &queue);
+    void setGauges(std::size_t queued, int running_id);
+
+    GpuTop &gpu_;
+    ServeOptions opts_;
+    RuntimePredictor predictor_;
+    // Scaled launch objects, one per kernel name, alive for the
+    // server's lifetime (invocations keep a pointer into these).
+    std::map<std::string, std::unique_ptr<SyntheticKernel>> kernels_;
+    std::map<std::string, KernelParams> params_;
+    Cycle wall_ = 0;
+    int completed_ = 0;
+    int preemptions_ = 0;
+};
+
+} // namespace equalizer
+
+#endif // EQ_SERVE_SERVER_HH

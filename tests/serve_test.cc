@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the request-serving frontend (docs/SERVING.md): arrival
+ * determinism and trace round-trips, the structural runtime predictor,
+ * dispatcher-policy behaviour (fcfs order, sjf reordering, preemptive
+ * eviction), thread-count determinism of a whole serve() run, the
+ * latency-percentile math, and the sm_limit= knob boundary semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_top.hh"
+#include "harness/co_run.hh"
+#include "kernels/kernel_zoo.hh"
+#include "serve/arrival.hh"
+#include "serve/predictor.hh"
+#include "serve/request.hh"
+#include "serve/server.hh"
+#include "sim/parallel_executor.hh"
+
+namespace equalizer
+{
+namespace
+{
+
+/** A small mixed-kernel Poisson spec used across the tests. */
+ArrivalSpec
+smallSpec()
+{
+    ArrivalSpec spec;
+    spec.count = 40;
+    spec.ratePerMcycle = 100.0;
+    spec.seed = 42;
+    spec.mix = {{"sgemm", 1}, {"bp-1", 0}};
+    return spec;
+}
+
+bool
+sameRequests(const std::vector<ServeRequest> &a,
+             const std::vector<ServeRequest> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].id != b[i].id || a[i].kernel != b[i].kernel ||
+            a[i].priority != b[i].priority ||
+            a[i].arrivalCycle != b[i].arrivalCycle ||
+            a[i].sloCycles != b[i].sloCycles)
+            return false;
+    return true;
+}
+
+// --- Arrival processes -------------------------------------------------
+
+TEST(Arrival, PoissonScheduleIsAPureFunctionOfTheSpec)
+{
+    const auto a = generateArrivals(smallSpec());
+    const auto b = generateArrivals(smallSpec());
+    ASSERT_EQ(a.size(), 40u);
+    EXPECT_TRUE(sameRequests(a, b));
+
+    // Sorted by arrival, ids dense in arrival order, gaps >= 1 cycle.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, static_cast<int>(i));
+        if (i > 0) {
+            EXPECT_GE(a[i].arrivalCycle, a[i - 1].arrivalCycle + 1);
+        }
+    }
+    // The mix's priorities ride along with the picked kernel.
+    for (const auto &r : a)
+        EXPECT_EQ(r.priority, r.kernel == "sgemm" ? 1 : 0);
+}
+
+TEST(Arrival, DifferentSeedsGiveDifferentSchedules)
+{
+    ArrivalSpec other = smallSpec();
+    other.seed = 43;
+    EXPECT_FALSE(sameRequests(generateArrivals(smallSpec()),
+                              generateArrivals(other)));
+}
+
+TEST(Arrival, TraceRoundTripPreservesEveryField)
+{
+    ArrivalSpec spec = smallSpec();
+    spec.sloCycles = 123456;
+    const auto a = generateArrivals(spec);
+    const std::string path =
+        ::testing::TempDir() + "eq_serve_trace_test.txt";
+    writeRequestTrace(path, a);
+    EXPECT_TRUE(sameRequests(a, readRequestTrace(path)));
+}
+
+TEST(ArrivalDeath, MalformedTraceLineIsFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "eq_serve_bad_trace.txt";
+    writeRequestTrace(path, {});
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "100 sgemm not-a-priority 0\n";
+    }
+    EXPECT_EXIT(readRequestTrace(path), ::testing::ExitedWithCode(1),
+                "request trace");
+}
+
+TEST(ArrivalDeath, EmptyMixAndBadRateAreFatal)
+{
+    EXPECT_EXIT(
+        {
+            ArrivalSpec spec;
+            generateArrivals(spec);
+        },
+        ::testing::ExitedWithCode(1), "empty kernel mix");
+    EXPECT_EXIT(
+        {
+            ArrivalSpec spec = smallSpec();
+            spec.ratePerMcycle = 0.0;
+            generateArrivals(spec);
+        },
+        ::testing::ExitedWithCode(1), "rate must be positive");
+    EXPECT_EXIT(arrivalKindFromString("bursty"),
+                ::testing::ExitedWithCode(1), "unknown arrival kind");
+}
+
+TEST(Arrival, KindAndPolicyNamesRoundTrip)
+{
+    EXPECT_EQ(arrivalKindFromString(toString(ArrivalKind::Poisson)),
+              ArrivalKind::Poisson);
+    EXPECT_EQ(arrivalKindFromString(toString(ArrivalKind::Replay)),
+              ArrivalKind::Replay);
+    for (const ServePolicy p :
+         {ServePolicy::Fcfs, ServePolicy::Sjf, ServePolicy::Preempt})
+        EXPECT_EQ(servePolicyFromString(toString(p)), p);
+    EXPECT_EXIT(servePolicyFromString("lifo"),
+                ::testing::ExitedWithCode(1), "unknown serve policy");
+}
+
+// --- Runtime predictor -------------------------------------------------
+
+TEST(Predictor, PriorRefinedByEwmaOfObservations)
+{
+    const KernelParams &params = KernelZoo::byName("sgemm").params;
+    RuntimePredictor p(15, 0.4);
+    const Cycle prior = p.prior(params);
+    ASSERT_GT(prior, 0u);
+    // Unseen kernel: the prediction IS the prior (ratio 1.0).
+    EXPECT_EQ(p.predict(params), prior);
+    EXPECT_DOUBLE_EQ(p.ratio(params.name), 1.0);
+
+    // The first observation seeds the ratio directly...
+    p.observe(params, prior * 2);
+    EXPECT_DOUBLE_EQ(p.ratio(params.name), 2.0);
+    // ...and later ones fold in with weight alpha.
+    p.observe(params, prior);
+    EXPECT_DOUBLE_EQ(p.ratio(params.name), 0.4 * 1.0 + 0.6 * 2.0);
+}
+
+TEST(Predictor, BiggerGridsGetBiggerPriors)
+{
+    const KernelParams &params = KernelZoo::byName("sgemm").params;
+    KernelParams bigger = params;
+    bigger.totalBlocks *= 4;
+    RuntimePredictor p(15);
+    EXPECT_GT(p.prior(bigger), p.prior(params));
+}
+
+// --- Percentile math ---------------------------------------------------
+
+TEST(Percentile, NearestRankInclusive)
+{
+    EXPECT_EQ(latencyPercentile({}, 99.0), 0u);
+    EXPECT_EQ(latencyPercentile({7}, 50.0), 7u);
+    std::vector<Cycle> ten;
+    for (Cycle v = 10; v <= 100; v += 10)
+        ten.push_back(v);
+    EXPECT_EQ(latencyPercentile(ten, 50.0), 50u);
+    EXPECT_EQ(latencyPercentile(ten, 95.0), 100u);
+    EXPECT_EQ(latencyPercentile(ten, 99.0), 100u);
+    EXPECT_EQ(latencyPercentile(ten, 100.0), 100u);
+    // 101 samples: p99 is the 2nd-worst, not the max.
+    std::vector<Cycle> many;
+    for (Cycle v = 1; v <= 101; ++v)
+        many.push_back(v * 10);
+    EXPECT_EQ(latencyPercentile(many, 99.0), 1000u);
+}
+
+// --- Kernel scaling ----------------------------------------------------
+
+TEST(ScaleKernel, ShrinksWithFloorsAndDropsTheSchedule)
+{
+    const KernelParams &params = KernelZoo::byName("sgemm").params;
+    const KernelParams scaled = scaleKernelParams(params, 0.25);
+    EXPECT_LT(scaled.totalBlocks, params.totalBlocks);
+    EXPECT_GE(scaled.totalBlocks, 1);
+    EXPECT_GE(scaled.instrsPerWarp, 32);
+    EXPECT_LE(scaled.longBlocks, scaled.totalBlocks);
+    EXPECT_EQ(scaled.invocationCount(), 1);
+
+    // scale >= 1 is the identity; tiny scales hit the floors.
+    EXPECT_EQ(scaleKernelParams(params, 1.0).totalBlocks,
+              params.totalBlocks);
+    EXPECT_GE(scaleKernelParams(params, 1e-9).totalBlocks, 1);
+    EXPECT_EXIT(scaleKernelParams(params, 0.0),
+                ::testing::ExitedWithCode(1), "scale must be positive");
+}
+
+// --- Dispatcher policies ----------------------------------------------
+
+/** Serve @p requests under @p policy on a fresh device. */
+ServeReport
+serveUnder(ServePolicy policy, const std::vector<ServeRequest> &requests,
+           int threads = 1)
+{
+    std::unique_ptr<ParallelExecutor> exec;
+    if (threads > 1)
+        exec = std::make_unique<ParallelExecutor>(threads);
+    GpuTop gpu;
+    gpu.setParallelExecutor(exec.get());
+    ServeOptions opts;
+    opts.policy = policy;
+    opts.kernelScale = 0.25;
+    RequestServer server(gpu, opts);
+    return server.serve(requests);
+}
+
+/** One long low-priority request, then two short urgent ones. */
+std::vector<ServeRequest>
+longThenShorts()
+{
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 1, 1000, 0};
+    reqs[2] = {2, "sgemm", 1, 1500, 0};
+    return reqs;
+}
+
+TEST(ServePolicyBehaviour, FcfsRunsInArrivalOrder)
+{
+    const ServeReport rep = serveUnder(ServePolicy::Fcfs,
+                                       longThenShorts());
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_EQ(rep.summary.preemptions, 0);
+    // Head-of-line blocking: each start waits out the previous finish.
+    EXPECT_GE(rep.records[1].startCycle, rep.records[0].completeCycle);
+    EXPECT_GE(rep.records[2].startCycle, rep.records[1].completeCycle);
+}
+
+TEST(ServePolicyBehaviour, SjfPicksThePredictedShortFirst)
+{
+    // While the first long runs, a second long (earlier) and a short
+    // (later) queue up; sjf serves the short first, fcfs would not.
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "prtcl-2", 0, 1000, 0};
+    reqs[2] = {2, "sgemm", 0, 1500, 0};
+    const ServeReport rep = serveUnder(ServePolicy::Sjf, reqs);
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_EQ(rep.summary.preemptions, 0); // non-preemptive
+    EXPECT_LT(rep.records[2].startCycle, rep.records[1].startCycle);
+}
+
+TEST(ServePolicyBehaviour, PreemptEvictsTheRunningLong)
+{
+    const ServeReport rep = serveUnder(ServePolicy::Preempt,
+                                       longThenShorts());
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_GE(rep.records[0].preemptions, 1);
+    EXPECT_GE(rep.summary.preemptions, 1);
+    // The urgent shorts finish before the evicted long does.
+    EXPECT_LT(rep.records[1].completeCycle, rep.records[0].completeCycle);
+    EXPECT_LT(rep.records[2].completeCycle, rep.records[0].completeCycle);
+    // The wall clock was charged the modeled save/restore costs.
+    ServeOptions defaults;
+    EXPECT_GE(rep.summary.wallCycles,
+              rep.summary.executedCycles +
+                  static_cast<Cycle>(rep.summary.preemptions) *
+                      (defaults.preemptSaveCycles +
+                       defaults.preemptRestoreCycles));
+}
+
+TEST(ServePolicyBehaviour, SloViolationsAreCounted)
+{
+    std::vector<ServeRequest> reqs = longThenShorts();
+    reqs[1].sloCycles = 1; // impossible deadline
+    const ServeReport rep = serveUnder(ServePolicy::Fcfs, reqs);
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_TRUE(rep.records[1].sloViolated);
+    EXPECT_EQ(rep.summary.sloViolations, 1);
+    EXPECT_NEAR(rep.summary.sloViolationRate, 1.0 / 3.0, 1e-12);
+}
+
+/**
+ * The serving determinism contract: a whole serve() run — every
+ * per-request record and the summary — is identical across thread
+ * counts, including runs that exercise preemption shelves.
+ */
+TEST(ServeDeterminism, ThreadCountsProduceIdenticalReports)
+{
+    ArrivalSpec spec = smallSpec();
+    spec.count = 12;
+    spec.ratePerMcycle = 150.0;
+    spec.mix = {{"sgemm", 1}, {"prtcl-2", 0}};
+    const auto requests = generateArrivals(spec);
+
+    const ServeReport serial =
+        serveUnder(ServePolicy::Preempt, requests, 1);
+    const ServeReport parallel =
+        serveUnder(ServePolicy::Preempt, requests, 4);
+    ASSERT_EQ(serial.summary.completed, 12);
+    EXPECT_GE(serial.summary.preemptions, 1)
+        << "workload too tame to exercise the shelves";
+
+    EXPECT_EQ(serial.summary.wallCycles, parallel.summary.wallCycles);
+    EXPECT_EQ(serial.summary.preemptions, parallel.summary.preemptions);
+    EXPECT_EQ(serial.summary.p99Latency, parallel.summary.p99Latency);
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+        const RequestRecord &a = serial.records[i];
+        const RequestRecord &b = parallel.records[i];
+        EXPECT_EQ(a.req.id, b.req.id);
+        EXPECT_EQ(a.startCycle, b.startCycle);
+        EXPECT_EQ(a.completeCycle, b.completeCycle);
+        EXPECT_EQ(a.latencyCycles, b.latencyCycles);
+        EXPECT_EQ(a.executedCycles, b.executedCycles);
+        EXPECT_EQ(a.preemptions, b.preemptions);
+        EXPECT_EQ(a.instructions, b.instructions);
+    }
+}
+
+TEST(ServeDeath, BusyOrPartitionedDevicesAreRejected)
+{
+    EXPECT_EXIT(
+        {
+            GpuTop gpu;
+            gpu.configureTenants({{"a", 0.5}, {"b", 0.5}},
+                                 PartitionPolicy::RoundRobin);
+            RequestServer server(gpu, ServeOptions{});
+        },
+        ::testing::ExitedWithCode(1), "partitioned into tenants");
+    EXPECT_EXIT(
+        {
+            GpuTop gpu;
+            ServeOptions opts;
+            opts.quantumCycles = 0;
+            RequestServer server(gpu, opts);
+        },
+        ::testing::ExitedWithCode(1), "quantum must be positive");
+}
+
+// --- sm_limit= knob boundaries (docs/MULTI_TENANT.md) ------------------
+
+TEST(SmLimitKnob, BoundaryValuesAreExplicit)
+{
+    EXPECT_DOUBLE_EQ(parseSmLimitKnob("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseSmLimitKnob("1"), 1.0);
+    // Above the whole partition: clamped to unlimited, not fatal.
+    EXPECT_DOUBLE_EQ(parseSmLimitKnob("1.5"), 1.0);
+}
+
+TEST(SmLimitKnobDeath, ZeroNegativeAndGarbageAreFatal)
+{
+    EXPECT_EXIT(parseSmLimitKnob("0"), ::testing::ExitedWithCode(1),
+                "sm_limit=0 would starve the tenant");
+    EXPECT_EXIT(parseSmLimitKnob("0.0"), ::testing::ExitedWithCode(1),
+                "starve");
+    EXPECT_EXIT(parseSmLimitKnob("-0.25"), ::testing::ExitedWithCode(1),
+                "negative");
+    EXPECT_EXIT(parseSmLimitKnob("half"), ::testing::ExitedWithCode(1),
+                "not a number");
+    EXPECT_EXIT(parseSmLimitKnob("0.5x"), ::testing::ExitedWithCode(1),
+                "not a number");
+}
+
+} // namespace
+} // namespace equalizer
