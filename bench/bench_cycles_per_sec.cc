@@ -25,10 +25,11 @@
  *   shim=1 (default) appends a "shim:lbm" row timing a single-kernel
  *   run through the deprecated runKernelsConcurrent() tenant shim, so
  *   the perf gate tracks the tenant machinery's overhead too.
- *   serve=1 (default) appends a "serve:poisson" row timing a fixed
- *   preemptive serving workload through RequestServer
+ *   serve=1 (default) appends "serve:poisson" and "serve:edf" rows
+ *   timing a fixed serving workload through RequestServer under the
+ *   preemptive and earliest-deadline-first dispatchers
  *   (docs/SERVING.md), so serving throughput is regression-gated and
- *   its simulated cycle count pinned from day one.
+ *   its simulated cycle counts pinned from day one.
  */
 
 #include <algorithm>
@@ -83,24 +84,28 @@ struct TimedServe
 
 /**
  * The perf-gate serving workload: a fixed-seed Poisson burst over a
- * mixed short/long kernel set under the preemptive dispatcher, so the
- * gate times the whole serving stack — quantum stepping, checkpoint
- * shelves, dispatch bookkeeping. Deterministic by construction, so
- * its executed-cycle count is pinned by the exact sm_cycles check.
+ * mixed short/long kernel set under @p policy, so the gate times the
+ * whole serving stack — quantum stepping, checkpoint shelves,
+ * dispatch bookkeeping. Deterministic by construction, so its
+ * executed-cycle count is pinned by the exact sm_cycles check.
+ * @p slo_cycles stamps every request with a deadline, which the
+ * deadline-aware policies need to order by.
  */
 TimedServe
-timeServe(const GpuConfig &gcfg, int repeats)
+timeServe(const GpuConfig &gcfg, int repeats, ServePolicy policy,
+          Cycle slo_cycles)
 {
     ArrivalSpec spec;
     spec.kind = ArrivalKind::Poisson;
     spec.count = 24;
     spec.ratePerMcycle = 120.0;
     spec.seed = 7;
+    spec.sloCycles = slo_cycles;
     spec.mix = {{"sgemm", 1}, {"bp-1", 0}, {"prtcl-2", 0}};
     const std::vector<ServeRequest> requests = generateArrivals(spec);
 
     ServeOptions opts;
-    opts.policy = ServePolicy::Preempt;
+    opts.policy = policy;
     opts.kernelScale = 0.25;
 
     TimedServe out;
@@ -303,32 +308,48 @@ main(int argc, char **argv)
         // The serving stack end to end; sm_cycles here is the summed
         // device cycles executed across requests (the serving wall
         // clock adds modeled preemption costs on top, so it is not a
-        // device quantity).
-        progress("timing serve:poisson (RequestServer, preempt)");
-        const TimedServe run = timeServe(gcfg, repeats);
-        const double cps =
-            run.wallSeconds > 0.0
-                ? static_cast<double>(run.summary.executedCycles) /
-                      run.wallSeconds
-                : 0.0;
-        std::vector<ExportCell> cells = {
-            ExportCell::str("serve:poisson"),
-            ExportCell::num(run.wallSeconds),
-            ExportCell::integer(
-                static_cast<std::int64_t>(run.summary.executedCycles)),
-            ExportCell::num(cps), ExportCell::integer(0),
-            ExportCell::num(0.0)};
-        std::vector<std::string> row = {
-            "serve:poisson", fmt(run.wallSeconds, 3),
-            std::to_string(run.summary.executedCycles), fmt(cps, 0),
-            "0", fmt(0.0, 3)};
-        if (compare) {
-            cells.insert(cells.end(), {ExportCell::num(run.wallSeconds),
-                                       ExportCell::num(1.0)});
-            row.insert(row.end(), {fmt(run.wallSeconds, 3), "1.00x"});
+        // device quantity). Two rows: the preemptive dispatcher on a
+        // deadline-free stream, and edf on the same stream with a
+        // uniform 70k-cycle SLO to order by.
+        struct ServeRow
+        {
+            const char *label;
+            ServePolicy policy;
+            Cycle sloCycles;
+        };
+        for (const ServeRow &sr :
+             {ServeRow{"serve:poisson", ServePolicy::Preempt, 0},
+              ServeRow{"serve:edf", ServePolicy::Edf, 70'000}}) {
+            progress(std::string("timing ") + sr.label +
+                     " (RequestServer)");
+            const TimedServe run =
+                timeServe(gcfg, repeats, sr.policy, sr.sloCycles);
+            const double cps =
+                run.wallSeconds > 0.0
+                    ? static_cast<double>(run.summary.executedCycles) /
+                          run.wallSeconds
+                    : 0.0;
+            std::vector<ExportCell> cells = {
+                ExportCell::str(sr.label),
+                ExportCell::num(run.wallSeconds),
+                ExportCell::integer(static_cast<std::int64_t>(
+                    run.summary.executedCycles)),
+                ExportCell::num(cps), ExportCell::integer(0),
+                ExportCell::num(0.0)};
+            std::vector<std::string> row = {
+                sr.label, fmt(run.wallSeconds, 3),
+                std::to_string(run.summary.executedCycles), fmt(cps, 0),
+                "0", fmt(0.0, 3)};
+            if (compare) {
+                cells.insert(cells.end(),
+                             {ExportCell::num(run.wallSeconds),
+                              ExportCell::num(1.0)});
+                row.insert(row.end(),
+                           {fmt(run.wallSeconds, 3), "1.00x"});
+            }
+            sink.row(cells);
+            t.row(row);
         }
-        sink.row(cells);
-        t.row(row);
     }
     t.print();
 

@@ -46,8 +46,15 @@
  *   partition=rr|blocked (SM partition policy for tenants=)
  *   serve=1 (request-serving mode — docs/SERVING.md: an open-loop
  *                arrival stream of kernel-launch requests dispatched
- *                onto the device in bounded quanta; policy= then
- *                selects the dispatcher: fcfs, sjf or preempt)
+ *                onto the device(s) in bounded quanta; policy= then
+ *                selects the dispatcher: fcfs, sjf, edf, llf or
+ *                preempt)
+ *   admission=none|predictive (reject requests whose predicted
+ *                completion already busts their SLO; rejections are
+ *                counted and exported, never silently dropped)
+ *   devices=<n> (shard the admission queue across n forked warm
+ *                devices, each with its own scheduler core; dispatch
+ *                picks the lowest predicted-free device)
  *   arrival=poisson|replay rate=<req/Mcycle> requests=<n> seed=<n>
  *   serve_kernels=<k[:prio],...> (Poisson kernel mix with optional
  *                priorities; larger = more urgent)
@@ -155,7 +162,15 @@ knobs()
         {"partition", "tenant SM partition policy: rr or blocked", {}},
         {"serve",
          "request-serving mode: policy= becomes the dispatcher "
-         "(fcfs, sjf, preempt)",
+         "(fcfs, sjf, edf, llf, preempt)",
+         {}},
+        {"admission",
+         "admission control: none or predictive (reject requests "
+         "predicted to bust their SLO)",
+         {}},
+        {"devices",
+         "devices to shard the admission queue across (forked warm "
+         "clones)",
          {}},
         {"arrival", "arrival process: poisson or replay", {}},
         {"rate", "mean arrivals per million wall cycles", {}},
@@ -201,15 +216,21 @@ splitCsv(const std::string &csv)
 
 /**
  * The serve= mode (docs/SERVING.md): generate or replay an open-loop
- * arrival schedule, dispatch it onto one device in bounded quanta
- * under the selected policy, and report latency percentiles,
- * throughput and SLO violations.
+ * arrival schedule, dispatch it onto devices= forked devices in
+ * bounded quanta under the selected policy and admission control, and
+ * report latency percentiles, throughput, rejections and SLO
+ * violations.
  */
 int
 runServeMode(const Config &cfg, const GpuConfig &gcfg)
 {
     const std::string policy_name = cfg.getString("policy", "fcfs");
     const ServePolicy policy = servePolicyFromString(policy_name);
+    const AdmissionPolicy admission = admissionPolicyFromString(
+        cfg.getString("admission", "none"));
+    const int devices = static_cast<int>(cfg.getInt("devices", 1));
+    if (devices < 1)
+        fatal("devices= must be at least 1, got ", devices);
     const int threads = static_cast<int>(cfg.getInt("threads", 0));
 
     ArrivalSpec spec;
@@ -239,11 +260,25 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
         !out.empty())
         writeRequestTrace(out, requests);
 
-    GpuTop gpu(gcfg, PowerConfig::gtx480());
+    // Device 0 is built cold; every further device is a warm fork of
+    // it (identical config fingerprint, so preemption shelves restore
+    // on any device). The fork happens before the tracer attaches:
+    // traces cover device 0 only.
+    std::vector<std::unique_ptr<GpuTop>> gpus;
+    for (int d = 0; d < devices; ++d) {
+        gpus.push_back(
+            std::make_unique<GpuTop>(gcfg, PowerConfig::gtx480()));
+        if (d > 0)
+            gpus.back()->forkFrom(*gpus.front());
+    }
+    GpuTop &gpu = *gpus.front();
     std::unique_ptr<ParallelExecutor> executor;
     if (threads != 1) {
+        // One shared worker pool: the serve loop steps one device at a
+        // time, so the pool is never contended across devices.
         executor = std::make_unique<ParallelExecutor>(threads);
-        gpu.setParallelExecutor(executor.get());
+        for (auto &g : gpus)
+            g->setParallelExecutor(executor.get());
     }
 
     const std::string trace_path = cfg.getString("trace", "");
@@ -267,6 +302,7 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
 
     ServeOptions opts;
     opts.policy = policy;
+    opts.admission = admission;
     opts.quantumCycles =
         static_cast<Cycle>(cfg.getInt("quantum", 2048));
     opts.preemptSaveCycles =
@@ -276,10 +312,15 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
 
     std::cout << "serving " << requests.size() << " request(s), "
               << toString(spec.kind) << " arrivals, dispatcher "
-              << toString(policy) << ", " << gcfg.numSms << " SMs, "
+              << toString(policy) << ", admission "
+              << toString(admission) << ", " << devices
+              << " device(s) x " << gcfg.numSms << " SMs, "
               << gpu.simThreads() << " sim thread(s)\n";
 
-    RequestServer server(gpu, opts);
+    std::vector<GpuTop *> gpu_ptrs;
+    for (auto &g : gpus)
+        gpu_ptrs.push_back(g.get());
+    RequestServer server(gpu_ptrs, opts);
     const ServeReport rep = server.serve(requests);
 
     if (tracer) {
@@ -303,11 +344,15 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
         ExportSink sink = ExportSink::serveTable();
         const ServeSummary &s = rep.summary;
         sink.meta("policy", ExportCell::str(s.policy));
+        sink.meta("admission", ExportCell::str(s.admission));
+        sink.meta("devices", ExportCell::integer(s.devices));
         sink.meta("arrival", ExportCell::str(toString(spec.kind)));
         sink.meta("seed", ExportCell::integer(
                               static_cast<std::int64_t>(spec.seed)));
         sink.meta("requests", ExportCell::integer(s.requests));
         sink.meta("completed", ExportCell::integer(s.completed));
+        sink.meta("rejected", ExportCell::integer(s.rejected));
+        sink.meta("rejection_rate", ExportCell::num(s.rejectionRate));
         sink.meta("preemptions", ExportCell::integer(s.preemptions));
         sink.meta("wall_cycles",
                   ExportCell::integer(
@@ -328,6 +373,19 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
                   ExportCell::integer(s.sloViolations));
         sink.meta("slo_violation_rate",
                   ExportCell::num(s.sloViolationRate));
+        for (const auto &d : rep.deviceStats) {
+            const std::string p = "dev" + std::to_string(d.device);
+            sink.meta(p + "_completed",
+                      ExportCell::integer(d.completed));
+            sink.meta(p + "_preemptions",
+                      ExportCell::integer(d.preemptions));
+            sink.meta(p + "_executed_cycles",
+                      ExportCell::integer(static_cast<std::int64_t>(
+                          d.executedCycles)));
+            sink.meta(p + "_wall_cycles",
+                      ExportCell::integer(static_cast<std::int64_t>(
+                          d.wallCycles)));
+        }
         for (const auto &rec : rep.records)
             sink.addServeRequest(s.policy, rec);
         sink.writeFile(export_path,
@@ -339,13 +397,29 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
     banner("serving");
     TablePrinter t({"metric", "value"});
     t.row({"dispatcher", s.policy});
+    t.row({"admission", s.admission});
+    t.row({"devices", std::to_string(s.devices)});
     t.row({"requests", std::to_string(s.requests)});
     t.row({"completed", std::to_string(s.completed)});
+    t.row({"rejected", std::to_string(s.rejected)});
     t.row({"preemptions", std::to_string(s.preemptions)});
     t.row({"wall cycles", std::to_string(s.wallCycles)});
     t.row({"executed cycles", std::to_string(s.executedCycles)});
     t.row({"throughput", fmt(s.throughputPerMcycle, 3) + " req/Mcycle"});
     t.print();
+
+    if (s.devices > 1) {
+        banner("devices");
+        TablePrinter dev({"device", "completed", "preemptions",
+                          "executed cycles", "wall cycles"});
+        for (const auto &d : rep.deviceStats)
+            dev.row({std::to_string(d.device),
+                     std::to_string(d.completed),
+                     std::to_string(d.preemptions),
+                     std::to_string(d.executedCycles),
+                     std::to_string(d.wallCycles)});
+        dev.print();
+    }
 
     banner("latency (SM cycles)");
     TablePrinter lat({"percentile", "cycles"});

@@ -352,6 +352,8 @@ ExportSink::serveTable()
         "slo_cycles",
         "slo_violated",
         "completed",
+        "rejected",
+        "device",
     });
 }
 
@@ -378,6 +380,8 @@ ExportSink::addServeRequest(const std::string &policy,
             static_cast<std::int64_t>(rec.req.sloCycles)),
         ExportCell::integer(rec.sloViolated ? 1 : 0),
         ExportCell::integer(rec.completed ? 1 : 0),
+        ExportCell::integer(rec.rejected ? 1 : 0),
+        ExportCell::integer(rec.device),
     });
 }
 
@@ -386,8 +390,12 @@ ExportSink::serveSummaryTable()
 {
     return ExportSink({
         "policy",
+        "admission",
+        "devices",
         "requests",
         "completed",
+        "rejected",
+        "rejection_rate",
         "preemptions",
         "wall_cycles",
         "executed_cycles",
@@ -407,8 +415,12 @@ ExportSink::addServeSummary(const ServeSummary &s)
 {
     row({
         ExportCell::str(s.policy),
+        ExportCell::str(s.admission),
+        ExportCell::integer(s.devices),
         ExportCell::integer(s.requests),
         ExportCell::integer(s.completed),
+        ExportCell::integer(s.rejected),
+        ExportCell::num(s.rejectionRate),
         ExportCell::integer(s.preemptions),
         ExportCell::integer(static_cast<std::int64_t>(s.wallCycles)),
         ExportCell::integer(

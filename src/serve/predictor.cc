@@ -19,7 +19,19 @@ RuntimePredictor::prior(const KernelParams &params) const
     const double per_wave = static_cast<double>(params.warpsPerBlock) *
                             static_cast<double>(params.instrsPerWarp) *
                             2.0;
-    return static_cast<Cycle>(static_cast<double>(waves) * per_wave);
+    double cycles = static_cast<double>(waves) * per_wave;
+    // Load imbalance is structural too: a long block's warp chain is a
+    // serial critical path no amount of occupancy hides, so the prior
+    // must be at least that long or the predictor systematically
+    // undershoots imbalanced kernels until their first completion.
+    if (params.longBlocks > 0 && params.longBlockFactor > 1.0) {
+        const double critical =
+            static_cast<double>(params.warpsPerBlock) *
+            static_cast<double>(params.instrsPerWarp) *
+            params.longBlockFactor * 2.0;
+        cycles = std::max(cycles, critical);
+    }
+    return static_cast<Cycle>(cycles);
 }
 
 Cycle

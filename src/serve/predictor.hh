@@ -20,6 +20,17 @@
 namespace equalizer
 {
 
+/**
+ * Remaining predicted service once @p executed cycles have already
+ * run; saturates at 0 when the prediction has been overtaken (the
+ * request is "past due" on the predictor's books but still running).
+ */
+inline Cycle
+predictedRemaining(Cycle predicted, Cycle executed)
+{
+    return predicted > executed ? predicted - executed : 0;
+}
+
 class RuntimePredictor
 {
   public:
@@ -37,6 +48,13 @@ class RuntimePredictor
 
     /** prior() scaled by the kernel's learned ratio (1.0 if unseen). */
     Cycle predict(const KernelParams &params) const;
+
+    /** predict() minus @p executed_cycles, saturating at 0. */
+    Cycle
+    remaining(const KernelParams &params, Cycle executed_cycles) const
+    {
+        return predictedRemaining(predict(params), executed_cycles);
+    }
 
     /** Fold one observed completion into the kernel's ratio. */
     void observe(const KernelParams &params, Cycle executed_cycles);

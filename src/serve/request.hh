@@ -32,6 +32,17 @@ struct ServeRequest
     int priority = 0;        ///< larger = more urgent (preempt policy)
     Cycle arrivalCycle = 0;  ///< wall-clock arrival
     Cycle sloCycles = 0;     ///< latency deadline; 0 = none
+
+    /**
+     * Absolute deadline on the wall clock (arrival + SLO); noWakeup
+     * when the request carries no deadline, so deadline comparisons
+     * order deadline-free requests last.
+     */
+    Cycle
+    deadlineCycle() const
+    {
+        return sloCycles == 0 ? noWakeup : arrivalCycle + sloCycles;
+    }
 };
 
 /** What happened to one request, filled in as the server runs it. */
@@ -40,7 +51,9 @@ struct RequestRecord
     ServeRequest req;
     bool completed = false;
     bool sloViolated = false;
+    bool rejected = false;      ///< refused by admission control
     int preemptions = 0;        ///< times evicted to a shelf buffer
+    int device = -1;            ///< device it (last) dispatched on
     Cycle startCycle = 0;       ///< wall clock at first dispatch
     Cycle completeCycle = 0;    ///< wall clock at completion
     Cycle latencyCycles = 0;    ///< completeCycle - arrivalCycle

@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.hh"
 #include "gpu/gpu_top.hh"
@@ -19,6 +20,10 @@ toString(ServePolicy policy)
         return "fcfs";
       case ServePolicy::Sjf:
         return "sjf";
+      case ServePolicy::Edf:
+        return "edf";
+      case ServePolicy::Llf:
+        return "llf";
       case ServePolicy::Preempt:
         return "preempt";
     }
@@ -32,39 +37,93 @@ servePolicyFromString(const std::string &name)
         return ServePolicy::Fcfs;
     if (name == "sjf")
         return ServePolicy::Sjf;
+    if (name == "edf")
+        return ServePolicy::Edf;
+    if (name == "llf")
+        return ServePolicy::Llf;
     if (name == "preempt")
         return ServePolicy::Preempt;
-    fatal("unknown serve policy '", name, "' (fcfs, sjf, preempt)");
+    fatal("unknown serve policy '", name,
+          "' (fcfs, sjf, edf, llf, preempt)");
+}
+
+const char *
+toString(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::None:
+        return "none";
+      case AdmissionPolicy::Predictive:
+        return "predictive";
+    }
+    return "unknown";
+}
+
+AdmissionPolicy
+admissionPolicyFromString(const std::string &name)
+{
+    if (name == "none")
+        return AdmissionPolicy::None;
+    if (name == "predictive")
+        return AdmissionPolicy::Predictive;
+    fatal("unknown admission policy '", name, "' (none, predictive)");
 }
 
 KernelParams
 scaleKernelParams(KernelParams params, double scale)
 {
-    if (scale >= 1.0)
-        return params;
     if (scale <= 0.0)
         fatal("scaleKernelParams: scale must be positive, got ", scale);
-    params.totalBlocks = std::max(
-        1, static_cast<int>(params.totalBlocks * scale + 0.5));
-    params.instrsPerWarp = std::max(
-        32, static_cast<int>(params.instrsPerWarp * scale + 0.5));
-    // Serving requests are single launches; drop the application's
-    // invocation schedule so one request = one grid.
+    if (scale < 1.0) {
+        params.totalBlocks = std::max(
+            1, static_cast<int>(params.totalBlocks * scale + 0.5));
+        params.instrsPerWarp = std::max(
+            32, static_cast<int>(params.instrsPerWarp * scale + 0.5));
+    }
+    // Serving requests are single launches at ANY scale: drop the
+    // application's invocation schedule so one request = one grid,
+    // and keep the long-block count inside the (possibly shrunk)
+    // grid. An early return at scale >= 1 used to skip both and leak
+    // the whole multi-invocation schedule into a "single" request.
     params.invocations.clear();
     params.longBlocks = std::min(params.longBlocks, params.totalBlocks);
     return params;
 }
 
 RequestServer::RequestServer(GpuTop &gpu, ServeOptions opts)
-    : gpu_(gpu), opts_(opts), predictor_(gpu.numSms())
+    : RequestServer(std::vector<GpuTop *>{&gpu}, opts)
 {
-    if (gpu_.midKernel())
-        fatal("RequestServer: the device already has a run in flight");
-    if (gpu_.numTenants() > 1)
-        fatal("RequestServer: the device is partitioned into tenants; "
-              "serving drives the whole device");
+}
+
+RequestServer::RequestServer(std::vector<GpuTop *> gpus, ServeOptions opts)
+    : gpus_(std::move(gpus)), opts_(opts),
+      predictor_(gpus_.empty() ? 1 : gpus_.front()->numSms())
+{
+    if (gpus_.empty())
+        fatal("RequestServer: need at least one device");
     if (opts_.quantumCycles == 0)
         fatal("RequestServer: quantum must be positive");
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        GpuTop *gpu = gpus_[i];
+        if (gpu == nullptr)
+            fatal("RequestServer: device ", i, " is null");
+        if (gpu->midKernel())
+            fatal("RequestServer: device ", i,
+                  " already has a run in flight");
+        if (gpu->numTenants() > 1)
+            fatal("RequestServer: device ", i,
+                  " is partitioned into tenants; serving drives whole "
+                  "devices");
+        if (gpu->numSms() != gpus_.front()->numSms())
+            fatal("RequestServer: devices must be identically sized "
+                  "(device ",
+                  i, " has ", gpu->numSms(), " SMs, device 0 has ",
+                  gpus_.front()->numSms(), ")");
+        for (std::size_t j = 0; j < i; ++j)
+            if (gpus_[j] == gpu)
+                fatal("RequestServer: device ", i, " repeats device ",
+                      j);
+    }
 }
 
 const KernelParams &
@@ -93,14 +152,17 @@ RequestServer::launchFor(const std::string &kernel)
 }
 
 /**
- * Queue position to dispatch next. The queue is kept in admission
- * order, so "first match wins" makes every tie-break deterministic:
- * fcfs picks the head outright, sjf the earliest-admitted shortest
- * prediction, preempt the earliest-admitted highest priority.
+ * Queue position to dispatch next at wall clock @p now. The queue is
+ * kept in admission order (ascending record index — dispatch erases
+ * and eviction re-inserts by rank), so "first match wins" makes every
+ * tie-break deterministic: fcfs picks the head outright, sjf the
+ * earliest-admitted shortest prediction, edf the earliest-admitted
+ * earliest deadline, llf the earliest-admitted least laxity, preempt
+ * the earliest-admitted highest priority.
  */
 std::size_t
 RequestServer::pickNext(const std::vector<RequestRecord> &records,
-                        const std::vector<int> &queue)
+                        const std::vector<int> &queue, Cycle now)
 {
     EQ_ASSERT(!queue.empty(), "pickNext on an empty queue");
     switch (opts_.policy) {
@@ -112,12 +174,36 @@ RequestServer::pickNext(const std::vector<RequestRecord> &records,
         for (std::size_t i = 0; i < queue.size(); ++i) {
             const RequestRecord &r =
                 records[static_cast<std::size_t>(queue[i])];
-            const Cycle pred =
-                predictor_.predict(paramsFor(r.req.kernel));
-            const Cycle rem =
-                pred > r.executedCycles ? pred - r.executedCycles : 0;
+            const Cycle rem = predictor_.remaining(
+                paramsFor(r.req.kernel), r.executedCycles);
             if (rem < best_rem) {
                 best_rem = rem;
+                best = i;
+            }
+        }
+        return best;
+      }
+      case ServePolicy::Edf: {
+        std::size_t best = 0;
+        Cycle best_dl = noWakeup;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const Cycle dl = records[static_cast<std::size_t>(queue[i])]
+                                 .req.deadlineCycle();
+            if (dl < best_dl) {
+                best_dl = dl;
+                best = i;
+            }
+        }
+        return best;
+      }
+      case ServePolicy::Llf: {
+        std::size_t best = 0;
+        std::int64_t best_lax = std::numeric_limits<std::int64_t>::max();
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const std::int64_t lax = laxityOf(
+                records[static_cast<std::size_t>(queue[i])], now);
+            if (lax < best_lax) {
+                best_lax = lax;
                 best = i;
             }
         }
@@ -136,22 +222,61 @@ RequestServer::pickNext(const std::vector<RequestRecord> &records,
     return 0;
 }
 
-void
-RequestServer::setGauges(std::size_t queued, int running_id)
+/**
+ * Slack before @p rec busts its deadline if dispatched at @p now:
+ * deadline minus (now + predicted remaining service). Negative =
+ * already predicted late. Deadline-free requests report infinite
+ * laxity so every deadline-carrying request outranks them.
+ */
+std::int64_t
+RequestServer::laxityOf(const RequestRecord &rec, Cycle now)
 {
-    Tracer *tracer = gpu_.tracer();
-    if (!tracer || !tracer->attached())
-        return;
-    auto &g = tracer->gauges();
-    g.set("serve.queue_depth", static_cast<double>(queued));
-    g.set("serve.running_request", static_cast<double>(running_id));
-    g.set("serve.completed", static_cast<double>(completed_));
-    g.set("serve.preemptions", static_cast<double>(preemptions_));
+    if (rec.req.sloCycles == 0)
+        return std::numeric_limits<std::int64_t>::max();
+    const Cycle rem = predictor_.remaining(paramsFor(rec.req.kernel),
+                                           rec.executedCycles);
+    return static_cast<std::int64_t>(rec.req.deadlineCycle()) -
+           static_cast<std::int64_t>(now + rem);
+}
+
+/**
+ * Predictor gate on priority eviction: shelving only pays when the
+ * victim's predicted remaining service exceeds the challenger's plus
+ * the modeled save+restore round trip — a near-finished victim is
+ * cheaper to let run out than to bounce through a checkpoint.
+ */
+bool
+RequestServer::evictionPays(const RequestRecord &running,
+                            const RequestRecord &challenger)
+{
+    const Cycle victim_rem = predictor_.remaining(
+        paramsFor(running.req.kernel), running.executedCycles);
+    const Cycle challenger_rem = predictor_.remaining(
+        paramsFor(challenger.req.kernel), challenger.executedCycles);
+    return victim_rem > challenger_rem + opts_.preemptSaveCycles +
+                            opts_.preemptRestoreCycles;
 }
 
 ServeReport
 RequestServer::serve(const std::vector<ServeRequest> &requests)
 {
+    // One lane per device. A lane's wall clock is the serving time its
+    // device has been simulated up to; the lane with the smallest wall
+    // is always stepped next, so that wall doubles as the global "now"
+    // of every admission and dispatch decision.
+    struct Lane
+    {
+        GpuTop *gpu = nullptr;
+        std::unique_ptr<SchedulerCore> core;
+        Cycle wall = 0;
+        Cycle lastComplete = 0;
+        Cycle executed = 0;
+        int running = -1;    // index into records
+        int completed = 0;
+        int preemptions = 0;
+        bool parked = false; // idle and no work can ever reach it
+    };
+
     std::vector<RequestRecord> records;
     for (const auto &r : requests) {
         RequestRecord rec;
@@ -163,91 +288,202 @@ RequestServer::serve(const std::vector<ServeRequest> &requests)
                          return a.req.arrivalCycle < b.req.arrivalCycle;
                      });
 
-    SchedulerCore core(gpu_);
+    std::vector<Lane> lanes(gpus_.size());
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        lanes[i].gpu = gpus_[i];
+        lanes[i].core = std::make_unique<SchedulerCore>(*gpus_[i]);
+    }
+
     std::map<int, std::vector<std::uint8_t>> shelves;
-    std::vector<int> queue; // indices into records, admission order
+    std::vector<int> queue; // record indices, kept in admission order
     std::size_t next_arrival = 0;
-    int running = -1; // index into records
     wall_ = 0;
     completed_ = 0;
+    rejected_ = 0;
     preemptions_ = 0;
 
-    const auto admit = [&] {
-        while (next_arrival < records.size() &&
-               records[next_arrival].req.arrivalCycle <= wall_)
-            queue.push_back(static_cast<int>(next_arrival++));
+    const auto setGauges = [&] {
+        Tracer *tracer = lanes[0].gpu->tracer();
+        if (!tracer || !tracer->attached())
+            return;
+        auto &g = tracer->gauges();
+        g.set("serve.queue_depth", static_cast<double>(queue.size()));
+        const auto runId = [&](const Lane &lane) {
+            return lane.running < 0
+                       ? -1.0
+                       : static_cast<double>(
+                             records[static_cast<std::size_t>(
+                                         lane.running)]
+                                 .req.id);
+        };
+        g.set("serve.running_request", runId(lanes[0]));
+        g.set("serve.completed", static_cast<double>(completed_));
+        g.set("serve.preemptions", static_cast<double>(preemptions_));
+        g.set("serve.rejected", static_cast<double>(rejected_));
+        for (std::size_t k = 0; k < lanes.size(); ++k) {
+            const std::string p = "serve.dev" + std::to_string(k);
+            g.set(p + ".running_request", runId(lanes[k]));
+            g.set(p + ".completed",
+                  static_cast<double>(lanes[k].completed));
+            g.set(p + ".wall", static_cast<double>(lanes[k].wall));
+        }
     };
 
-    const auto dispatch = [&](std::size_t pos) {
+    // Predicted wait a fresh arrival faces: the remaining service of
+    // everything running or queued ahead of it, spread evenly across
+    // the devices. Crude, but cheap, deterministic and online.
+    const auto backlogShare = [&]() -> Cycle {
+        Cycle backlog = 0;
+        for (const auto &lane : lanes) {
+            if (lane.running < 0)
+                continue;
+            const RequestRecord &r =
+                records[static_cast<std::size_t>(lane.running)];
+            backlog += predictor_.remaining(paramsFor(r.req.kernel),
+                                            r.executedCycles);
+        }
+        for (int idx : queue) {
+            const RequestRecord &r =
+                records[static_cast<std::size_t>(idx)];
+            backlog += predictor_.remaining(paramsFor(r.req.kernel),
+                                            r.executedCycles);
+        }
+        return backlog / static_cast<Cycle>(lanes.size());
+    };
+
+    const auto admitUpTo = [&](Cycle now) {
+        while (next_arrival < records.size() &&
+               records[next_arrival].req.arrivalCycle <= now) {
+            RequestRecord &rec = records[next_arrival];
+            const int idx = static_cast<int>(next_arrival++);
+            if (opts_.admission == AdmissionPolicy::Predictive &&
+                rec.req.sloCycles > 0) {
+                const Cycle service =
+                    predictor_.predict(paramsFor(rec.req.kernel));
+                if (now + backlogShare() + service >
+                    rec.req.deadlineCycle()) {
+                    rec.rejected = true;
+                    ++rejected_;
+                    continue;
+                }
+            }
+            queue.push_back(idx);
+        }
+    };
+
+    const auto dispatch = [&](std::size_t li, std::size_t pos) {
+        Lane &lane = lanes[li];
         const int idx = queue[pos];
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
         RequestRecord &rec = records[static_cast<std::size_t>(idx)];
         const KernelLaunch &launch = launchFor(rec.req.kernel);
         auto shelf = shelves.find(rec.req.id);
         if (shelf != shelves.end()) {
-            gpu_.loadStateBuffer(shelf->second);
+            // Shelves restore on any lane: the devices are forked
+            // clones with identical config fingerprints.
+            lane.gpu->loadStateBuffer(shelf->second);
             shelves.erase(shelf);
-            core.adoptResumedKernel(launch);
-            wall_ += opts_.preemptRestoreCycles;
+            lane.core->adoptResumedKernel(launch);
+            lane.wall += opts_.preemptRestoreCycles;
         } else {
-            core.launchKernel(launch, opts_.maxKernelCycles);
-            rec.startCycle = wall_;
+            lane.core->launchKernel(launch, opts_.maxKernelCycles);
+            rec.startCycle = lane.wall;
         }
-        running = idx;
+        rec.device = static_cast<int>(li);
+        lane.running = idx;
     };
 
-    while (completed_ < static_cast<int>(records.size())) {
-        if (wall_ > opts_.maxWallCycles)
-            fatal("RequestServer: wall clock passed ", opts_.maxWallCycles,
-                  " cycles with ", completed_, "/", records.size(),
-                  " requests done; likely a deadlock");
-        admit();
-        if (running < 0) {
+    const int total = static_cast<int>(records.size());
+    while (completed_ + rejected_ < total) {
+        std::size_t li = lanes.size();
+        for (std::size_t k = 0; k < lanes.size(); ++k) {
+            if (lanes[k].parked)
+                continue;
+            if (li == lanes.size() || lanes[k].wall < lanes[li].wall)
+                li = k;
+        }
+        if (li == lanes.size())
+            fatal("RequestServer: all devices parked with ",
+                  completed_ + rejected_, "/", total,
+                  " requests settled");
+        Lane &lane = lanes[li];
+        if (lane.wall > opts_.maxWallCycles)
+            fatal("RequestServer: wall clock passed ",
+                  opts_.maxWallCycles, " cycles with ", completed_, "/",
+                  total, " requests done; likely a deadlock");
+        admitUpTo(lane.wall);
+        if (lane.running < 0) {
             if (queue.empty()) {
-                // Idle: jump the wall clock to the next arrival.
-                wall_ = records[next_arrival].req.arrivalCycle;
-                admit();
+                if (next_arrival >= records.size()) {
+                    // Nothing queued, nothing left to arrive: this
+                    // lane can never see work again (an eviction needs
+                    // a queued challenger, so the queue cannot refill
+                    // from here). Retire it from the pick.
+                    lane.parked = true;
+                    continue;
+                }
+                // Idle: jump this lane's wall to the next arrival.
+                lane.wall = records[next_arrival].req.arrivalCycle;
+                admitUpTo(lane.wall);
+                if (queue.empty())
+                    continue; // the whole batch was rejected
             }
-            dispatch(pickNext(records, queue));
+            dispatch(li, pickNext(records, queue, lane.wall));
             continue;
         }
         if (opts_.policy == ServePolicy::Preempt && !queue.empty()) {
-            const std::size_t cand = pickNext(records, queue);
-            RequestRecord &run = records[static_cast<std::size_t>(running)];
-            if (records[static_cast<std::size_t>(queue[cand])]
-                    .req.priority > run.req.priority) {
-                shelves[run.req.id] = gpu_.saveStateBuffer();
-                wall_ += opts_.preemptSaveCycles;
+            const std::size_t cand =
+                pickNext(records, queue, lane.wall);
+            RequestRecord &run =
+                records[static_cast<std::size_t>(lane.running)];
+            const RequestRecord &ch =
+                records[static_cast<std::size_t>(queue[cand])];
+            if (ch.req.priority > run.req.priority &&
+                evictionPays(run, ch)) {
+                shelves[run.req.id] = lane.gpu->saveStateBuffer();
+                lane.wall += opts_.preemptSaveCycles;
                 ++run.preemptions;
                 ++preemptions_;
-                queue.push_back(running);
-                running = -1;
+                ++lane.preemptions;
+                // Re-insert at its admission rank (the queue is kept
+                // sorted by record index): tacking the victim onto the
+                // tail made an evicted early request lose every later
+                // tie-break to younger arrivals.
+                queue.insert(std::lower_bound(queue.begin(),
+                                              queue.end(),
+                                              lane.running),
+                             lane.running);
+                lane.running = -1;
                 continue;
             }
         }
 
-        RequestRecord &rec = records[static_cast<std::size_t>(running)];
-        setGauges(queue.size(), rec.req.id);
-        const Cycle before = gpu_.smDomain().cycle();
-        const StepStatus status = core.step(opts_.quantumCycles);
-        const Cycle advanced = gpu_.smDomain().cycle() - before;
-        wall_ += advanced;
+        RequestRecord &rec =
+            records[static_cast<std::size_t>(lane.running)];
+        setGauges();
+        const Cycle before = lane.gpu->smDomain().cycle();
+        const StepStatus status = lane.core->step(opts_.quantumCycles);
+        const Cycle advanced = lane.gpu->smDomain().cycle() - before;
+        lane.wall += advanced;
+        lane.executed += advanced;
         rec.executedCycles += advanced;
         if (status == StepStatus::Drained) {
-            const RunMetrics m = core.finish();
+            const RunMetrics m = lane.core->finish();
             rec.instructions = m.instructions;
             rec.completed = true;
-            rec.completeCycle = wall_;
-            rec.latencyCycles = wall_ - rec.req.arrivalCycle;
+            rec.completeCycle = lane.wall;
+            rec.latencyCycles = lane.wall - rec.req.arrivalCycle;
             rec.sloViolated = rec.req.sloCycles > 0 &&
                               rec.latencyCycles > rec.req.sloCycles;
             predictor_.observe(paramsFor(rec.req.kernel),
                                rec.executedCycles);
             ++completed_;
-            running = -1;
+            ++lane.completed;
+            lane.lastComplete = lane.wall;
+            lane.running = -1;
         }
     }
-    setGauges(queue.size(), -1);
+    setGauges();
 
     // Report in request-id order, independent of completion order.
     std::stable_sort(records.begin(), records.end(),
@@ -255,10 +491,20 @@ RequestServer::serve(const std::vector<ServeRequest> &requests)
                          return a.req.id < b.req.id;
                      });
 
+    // The serving wall clock of the whole run is the time of the last
+    // completion anywhere — idle jumps past the final arrival on a
+    // lane that then parks do not count as served time.
+    wall_ = 0;
+    for (const auto &lane : lanes)
+        wall_ = std::max(wall_, lane.lastComplete);
+
     ServeReport report;
     report.summary.policy = toString(opts_.policy);
-    report.summary.requests = static_cast<int>(records.size());
+    report.summary.admission = toString(opts_.admission);
+    report.summary.devices = static_cast<int>(lanes.size());
+    report.summary.requests = total;
     report.summary.completed = completed_;
+    report.summary.rejected = rejected_;
     report.summary.preemptions = preemptions_;
     report.summary.wallCycles = wall_;
     std::vector<Cycle> latencies;
@@ -284,10 +530,22 @@ RequestServer::serve(const std::vector<ServeRequest> &requests)
             static_cast<double>(report.summary.sloViolations) /
             static_cast<double>(latencies.size());
     }
+    if (total > 0)
+        report.summary.rejectionRate =
+            static_cast<double>(rejected_) / static_cast<double>(total);
     if (wall_ > 0)
         report.summary.throughputPerMcycle =
             static_cast<double>(completed_) * 1e6 /
             static_cast<double>(wall_);
+    for (std::size_t k = 0; k < lanes.size(); ++k) {
+        ServeDeviceStats stats;
+        stats.device = static_cast<int>(k);
+        stats.completed = lanes[k].completed;
+        stats.preemptions = lanes[k].preemptions;
+        stats.executedCycles = lanes[k].executed;
+        stats.wallCycles = lanes[k].lastComplete;
+        report.deviceStats.push_back(stats);
+    }
     report.records = std::move(records);
     return report;
 }

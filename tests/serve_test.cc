@@ -2,9 +2,11 @@
  * @file
  * Tests for the request-serving frontend (docs/SERVING.md): arrival
  * determinism and trace round-trips, the structural runtime predictor,
- * dispatcher-policy behaviour (fcfs order, sjf reordering, preemptive
- * eviction), thread-count determinism of a whole serve() run, the
- * latency-percentile math, and the sm_limit= knob boundary semantics.
+ * dispatcher-policy behaviour (fcfs order, sjf reordering, edf/llf
+ * deadline ordering, predictor-gated preemptive eviction), predictive
+ * admission control, multi-device sharding, thread-count determinism
+ * of a whole serve() run, the latency-percentile math, and the
+ * sm_limit= knob boundary semantics.
  */
 
 #include <gtest/gtest.h>
@@ -134,10 +136,17 @@ TEST(Arrival, KindAndPolicyNamesRoundTrip)
     EXPECT_EQ(arrivalKindFromString(toString(ArrivalKind::Replay)),
               ArrivalKind::Replay);
     for (const ServePolicy p :
-         {ServePolicy::Fcfs, ServePolicy::Sjf, ServePolicy::Preempt})
+         {ServePolicy::Fcfs, ServePolicy::Sjf, ServePolicy::Edf,
+          ServePolicy::Llf, ServePolicy::Preempt})
         EXPECT_EQ(servePolicyFromString(toString(p)), p);
     EXPECT_EXIT(servePolicyFromString("lifo"),
                 ::testing::ExitedWithCode(1), "unknown serve policy");
+    for (const AdmissionPolicy a :
+         {AdmissionPolicy::None, AdmissionPolicy::Predictive})
+        EXPECT_EQ(admissionPolicyFromString(toString(a)), a);
+    EXPECT_EXIT(admissionPolicyFromString("oracle"),
+                ::testing::ExitedWithCode(1),
+                "unknown admission policy");
 }
 
 // --- Runtime predictor -------------------------------------------------
@@ -169,6 +178,35 @@ TEST(Predictor, BiggerGridsGetBiggerPriors)
     EXPECT_GT(p.prior(bigger), p.prior(params));
 }
 
+TEST(Predictor, LongBlockCriticalPathFloorsThePrior)
+{
+    // prtcl-2's single 25x block is a serial critical path: the prior
+    // must be at least that chain, not just waves x work-per-wave.
+    const KernelParams &prtcl = KernelZoo::byName("prtcl-2").params;
+    RuntimePredictor p(15);
+    const double chain = static_cast<double>(prtcl.warpsPerBlock) *
+                         static_cast<double>(prtcl.instrsPerWarp) *
+                         prtcl.longBlockFactor * 2.0;
+    EXPECT_GE(p.prior(prtcl), static_cast<Cycle>(chain));
+    // Balanced kernels are unaffected by the floor.
+    KernelParams balanced = prtcl;
+    balanced.longBlocks = 0;
+    EXPECT_LT(p.prior(balanced), p.prior(prtcl));
+}
+
+TEST(Predictor, RemainingSaturatesAtZero)
+{
+    EXPECT_EQ(predictedRemaining(100, 40), 60u);
+    EXPECT_EQ(predictedRemaining(100, 100), 0u);
+    // Prediction overtaken by reality: remaining clamps to 0 instead
+    // of wrapping — the request just ranks as "nearly done".
+    EXPECT_EQ(predictedRemaining(100, 150), 0u);
+    const KernelParams &params = KernelZoo::byName("sgemm").params;
+    RuntimePredictor p(15);
+    EXPECT_EQ(p.remaining(params, p.predict(params) + 12345), 0u);
+    EXPECT_GT(p.remaining(params, 0), 0u);
+}
+
 // --- Percentile math ---------------------------------------------------
 
 TEST(Percentile, NearestRankInclusive)
@@ -189,6 +227,26 @@ TEST(Percentile, NearestRankInclusive)
     EXPECT_EQ(latencyPercentile(many, 99.0), 1000u);
 }
 
+TEST(Percentile, EdgeRanksAndBoundaries)
+{
+    // The extremes map to min and max, for any sample size.
+    EXPECT_EQ(latencyPercentile({42}, 0.0), 42u);
+    EXPECT_EQ(latencyPercentile({42}, 100.0), 42u);
+    const std::vector<Cycle> four = {10, 20, 30, 40};
+    EXPECT_EQ(latencyPercentile(four, 0.0), 10u);
+    EXPECT_EQ(latencyPercentile(four, 100.0), 40u);
+    // Exact-rank boundaries: nearest-rank is inclusive, so a pct that
+    // lands exactly on rank k picks the k-th smallest, and one cycle
+    // past it moves to the next.
+    EXPECT_EQ(latencyPercentile(four, 25.0), 10u);
+    EXPECT_EQ(latencyPercentile(four, 25.1), 20u);
+    EXPECT_EQ(latencyPercentile(four, 50.0), 20u);
+    EXPECT_EQ(latencyPercentile(four, 75.0), 30u);
+    EXPECT_EQ(latencyPercentile(four, 75.1), 40u);
+    // The input need not be pre-sorted.
+    EXPECT_EQ(latencyPercentile({40, 10, 30, 20}, 50.0), 20u);
+}
+
 // --- Kernel scaling ----------------------------------------------------
 
 TEST(ScaleKernel, ShrinksWithFloorsAndDropsTheSchedule)
@@ -201,7 +259,7 @@ TEST(ScaleKernel, ShrinksWithFloorsAndDropsTheSchedule)
     EXPECT_LE(scaled.longBlocks, scaled.totalBlocks);
     EXPECT_EQ(scaled.invocationCount(), 1);
 
-    // scale >= 1 is the identity; tiny scales hit the floors.
+    // scale >= 1 keeps the grid; tiny scales hit the floors.
     EXPECT_EQ(scaleKernelParams(params, 1.0).totalBlocks,
               params.totalBlocks);
     EXPECT_GE(scaleKernelParams(params, 1e-9).totalBlocks, 1);
@@ -209,12 +267,56 @@ TEST(ScaleKernel, ShrinksWithFloorsAndDropsTheSchedule)
                 ::testing::ExitedWithCode(1), "scale must be positive");
 }
 
+/**
+ * Regression: scale >= 1 used to return the params untouched, leaking
+ * the application's multi-invocation schedule (and an unclamped
+ * longBlocks) into what serve() treats as a single-grid request. The
+ * schedule must be dropped at EVERY scale.
+ */
+TEST(ScaleKernel, FullScaleStillDropsTheInvocationSchedule)
+{
+    const KernelParams &params = KernelZoo::byName("bfs-2").params;
+    ASSERT_GT(params.invocationCount(), 1); // the bug needs a schedule
+    const KernelParams scaled = scaleKernelParams(params, 1.0);
+    EXPECT_EQ(scaled.invocationCount(), 1);
+    EXPECT_EQ(scaled.totalBlocks, params.totalBlocks);
+    EXPECT_LE(scaled.longBlocks, scaled.totalBlocks);
+}
+
+/**
+ * And end to end: a request served at serve_scale=1.0 executes exactly
+ * the kernel's nominal grid — the same cycles a direct run of the
+ * schedule-stripped params takes, not invocation 0 of the original
+ * schedule (bfs-2's invocation 0 is scaled to 0.4 of the grid, so the
+ * pre-fix behaviour is cycles-distinguishable).
+ */
+TEST(ScaleKernel, FullScaleServeMatchesTheNominalGrid)
+{
+    KernelParams stripped = KernelZoo::byName("bfs-2").params;
+    stripped.invocations.clear();
+    GpuTop reference;
+    const SyntheticKernel nominal(stripped, 0);
+    const RunMetrics direct = reference.runKernel(nominal);
+
+    std::vector<ServeRequest> reqs(1);
+    reqs[0] = {0, "bfs-2", 0, 0, 0};
+    GpuTop gpu;
+    ServeOptions opts;
+    opts.kernelScale = 1.0;
+    RequestServer server(gpu, opts);
+    const ServeReport rep = server.serve(reqs);
+    ASSERT_EQ(rep.summary.completed, 1);
+    EXPECT_EQ(rep.records[0].executedCycles, direct.smCycles);
+    EXPECT_EQ(rep.records[0].instructions, direct.instructions);
+}
+
 // --- Dispatcher policies ----------------------------------------------
 
 /** Serve @p requests under @p policy on a fresh device. */
 ServeReport
 serveUnder(ServePolicy policy, const std::vector<ServeRequest> &requests,
-           int threads = 1)
+           int threads = 1,
+           AdmissionPolicy admission = AdmissionPolicy::None)
 {
     std::unique_ptr<ParallelExecutor> exec;
     if (threads > 1)
@@ -223,6 +325,7 @@ serveUnder(ServePolicy policy, const std::vector<ServeRequest> &requests,
     gpu.setParallelExecutor(exec.get());
     ServeOptions opts;
     opts.policy = policy;
+    opts.admission = admission;
     opts.kernelScale = 0.25;
     RequestServer server(gpu, opts);
     return server.serve(requests);
@@ -281,6 +384,122 @@ TEST(ServePolicyBehaviour, PreemptEvictsTheRunningLong)
                   static_cast<Cycle>(rep.summary.preemptions) *
                       (defaults.preemptSaveCycles +
                        defaults.preemptRestoreCycles));
+}
+
+TEST(ServePolicyBehaviour, PreemptionDeclinesWhenTheVictimIsNearlyDone)
+{
+    // A higher priority alone no longer evicts: the victim is the same
+    // kernel as the challenger, so its predicted remaining can never
+    // exceed the challenger's full service plus the save/restore round
+    // trip — shelving would only add cost.
+    std::vector<ServeRequest> reqs(2);
+    reqs[0] = {0, "sgemm", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 5, 100, 0}; // more urgent, same length
+    const ServeReport rep = serveUnder(ServePolicy::Preempt, reqs);
+    ASSERT_EQ(rep.summary.completed, 2);
+    EXPECT_EQ(rep.summary.preemptions, 0);
+    EXPECT_GE(rep.records[1].startCycle, rep.records[0].completeCycle);
+}
+
+/**
+ * Regression: an evicted request used to be pushed to the queue TAIL,
+ * so it lost every later tie-break to requests admitted after it.
+ * Here the evicted long A and a queued long B tie on priority once
+ * the urgent short finishes; admission order says A resumes first.
+ */
+TEST(ServePolicyBehaviour, EvictedRequestKeepsItsAdmissionRank)
+{
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};    // running, then evicted
+    reqs[1] = {1, "prtcl-2", 0, 1000, 0}; // queued behind it
+    reqs[2] = {2, "sgemm", 1, 1500, 0};   // the urgent evictor
+    const ServeReport rep = serveUnder(ServePolicy::Preempt, reqs);
+    ASSERT_EQ(rep.summary.completed, 3);
+    ASSERT_GE(rep.records[0].preemptions, 1);
+    // A resumes (and finishes) before B ever starts.
+    EXPECT_GE(rep.records[1].startCycle, rep.records[0].completeCycle);
+    EXPECT_LT(rep.records[0].completeCycle, rep.records[1].completeCycle);
+}
+
+TEST(ServePolicyBehaviour, EdfPicksTheEarliestDeadlineFirst)
+{
+    // While the long runs, an earlier deadline-free request and a
+    // later deadline-carrying one queue up: edf serves the deadline
+    // first and orders deadline-free requests last; fcfs would not.
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 0, 1000, 0};      // no deadline
+    reqs[2] = {2, "sgemm", 0, 1500, 500000}; // deadline 501500
+    const ServeReport rep = serveUnder(ServePolicy::Edf, reqs);
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_EQ(rep.summary.preemptions, 0); // non-preemptive
+    EXPECT_LT(rep.records[2].startCycle, rep.records[1].startCycle);
+}
+
+TEST(ServePolicyBehaviour, EdfBreaksEqualDeadlinesByAdmission)
+{
+    // Identical (arrival + slo) sums: edf degenerates to admission
+    // order, so the tie-break must be first-admitted.
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 0, 1000, 70000}; // deadline 71000
+    reqs[2] = {2, "sgemm", 0, 1200, 69800}; // deadline 71000 too
+    const ServeReport rep = serveUnder(ServePolicy::Edf, reqs);
+    ASSERT_EQ(rep.summary.completed, 3);
+    EXPECT_LT(rep.records[1].startCycle, rep.records[2].startCycle);
+}
+
+TEST(ServePolicyBehaviour, LlfWeighsRemainingServiceIntoUrgency)
+{
+    // The sgemm's deadline is EARLIER, but the prtcl-2's predicted
+    // service is so much longer that its laxity is smaller: edf and
+    // llf disagree on exactly this pair.
+    std::vector<ServeRequest> reqs(3);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 0, 1000, 200000};   // deadline 201000
+    reqs[2] = {2, "prtcl-2", 0, 1100, 210000}; // deadline 211100
+    const ServeReport edf = serveUnder(ServePolicy::Edf, reqs);
+    ASSERT_EQ(edf.summary.completed, 3);
+    EXPECT_LT(edf.records[1].startCycle, edf.records[2].startCycle);
+    const ServeReport llf = serveUnder(ServePolicy::Llf, reqs);
+    ASSERT_EQ(llf.summary.completed, 3);
+    EXPECT_LT(llf.records[2].startCycle, llf.records[1].startCycle);
+}
+
+TEST(ServePolicyBehaviour, PredictiveAdmissionRejectsDoomedRequests)
+{
+    // The sgemm arrives behind a long-running prtcl-2 with a deadline
+    // the predicted backlog already busts: predictive admission turns
+    // it away at arrival (counted, not silently dropped); admission=
+    // none serves it late instead.
+    std::vector<ServeRequest> reqs(2);
+    reqs[0] = {0, "prtcl-2", 0, 0, 0};
+    reqs[1] = {1, "sgemm", 0, 1000, 5000}; // deadline 6000: hopeless
+    const ServeReport rejecting =
+        serveUnder(ServePolicy::Fcfs, reqs, 1,
+                   AdmissionPolicy::Predictive);
+    EXPECT_EQ(rejecting.summary.completed, 1);
+    EXPECT_EQ(rejecting.summary.rejected, 1);
+    EXPECT_NEAR(rejecting.summary.rejectionRate, 0.5, 1e-12);
+    EXPECT_EQ(rejecting.summary.sloViolations, 0);
+    EXPECT_TRUE(rejecting.records[1].rejected);
+    EXPECT_FALSE(rejecting.records[1].completed);
+    EXPECT_EQ(rejecting.records[1].executedCycles, 0u);
+
+    const ServeReport admitting = serveUnder(ServePolicy::Fcfs, reqs);
+    EXPECT_EQ(admitting.summary.completed, 2);
+    EXPECT_EQ(admitting.summary.rejected, 0);
+    EXPECT_TRUE(admitting.records[1].sloViolated);
+}
+
+TEST(ServePolicyBehaviour, AdmissionNeverRejectsDeadlineFreeRequests)
+{
+    std::vector<ServeRequest> reqs = longThenShorts(); // all slo = 0
+    const ServeReport rep =
+        serveUnder(ServePolicy::Fcfs, reqs, 1,
+                   AdmissionPolicy::Predictive);
+    EXPECT_EQ(rep.summary.completed, 3);
+    EXPECT_EQ(rep.summary.rejected, 0);
 }
 
 TEST(ServePolicyBehaviour, SloViolationsAreCounted)
@@ -350,6 +569,127 @@ TEST(ServeDeath, BusyOrPartitionedDevicesAreRejected)
             RequestServer server(gpu, opts);
         },
         ::testing::ExitedWithCode(1), "quantum must be positive");
+}
+
+// --- Multi-device serving ---------------------------------------------
+
+/**
+ * Serve @p requests across @p devices forked devices (device 0 cold,
+ * the rest warm forks of it — the same construction eqsim uses).
+ */
+ServeReport
+serveAcross(int devices, ServePolicy policy,
+            const std::vector<ServeRequest> &requests, int threads = 1)
+{
+    std::unique_ptr<ParallelExecutor> exec;
+    if (threads > 1)
+        exec = std::make_unique<ParallelExecutor>(threads);
+    std::vector<std::unique_ptr<GpuTop>> gpus;
+    std::vector<GpuTop *> ptrs;
+    for (int d = 0; d < devices; ++d) {
+        gpus.push_back(std::make_unique<GpuTop>());
+        if (d > 0)
+            gpus.back()->forkFrom(*gpus.front());
+        gpus.back()->setParallelExecutor(exec.get());
+        ptrs.push_back(gpus.back().get());
+    }
+    ServeOptions opts;
+    opts.policy = policy;
+    opts.kernelScale = 0.25;
+    RequestServer server(ptrs, opts);
+    return server.serve(requests);
+}
+
+/** A burst of close arrivals that one device can only serialize. */
+std::vector<ServeRequest>
+burstOfEight()
+{
+    std::vector<ServeRequest> reqs(8);
+    for (int i = 0; i < 8; ++i)
+        reqs[i] = {i, i % 2 == 0 ? "sgemm" : "bp-1", 0,
+                   static_cast<Cycle>(100 * i), 0};
+    return reqs;
+}
+
+TEST(MultiDeviceServe, ShardsTheQueueAcrossBothDevices)
+{
+    const ServeReport rep =
+        serveAcross(2, ServePolicy::Fcfs, burstOfEight());
+    ASSERT_EQ(rep.summary.completed, 8);
+    EXPECT_EQ(rep.summary.devices, 2);
+    ASSERT_EQ(rep.deviceStats.size(), 2u);
+    EXPECT_GT(rep.deviceStats[0].completed, 0);
+    EXPECT_GT(rep.deviceStats[1].completed, 0);
+    EXPECT_EQ(rep.deviceStats[0].completed + rep.deviceStats[1].completed,
+              8);
+    Cycle executed = 0;
+    for (const auto &rec : rep.records) {
+        EXPECT_TRUE(rec.device == 0 || rec.device == 1);
+        executed += rec.executedCycles;
+    }
+    EXPECT_EQ(rep.deviceStats[0].executedCycles +
+                  rep.deviceStats[1].executedCycles,
+              executed);
+}
+
+TEST(MultiDeviceServe, TwoDevicesBeatOneOnWallClock)
+{
+    const ServeReport one =
+        serveAcross(1, ServePolicy::Fcfs, burstOfEight());
+    const ServeReport two =
+        serveAcross(2, ServePolicy::Fcfs, burstOfEight());
+    ASSERT_EQ(one.summary.completed, 8);
+    ASSERT_EQ(two.summary.completed, 8);
+    EXPECT_LT(two.summary.wallCycles, one.summary.wallCycles);
+    EXPECT_GT(two.summary.throughputPerMcycle,
+              one.summary.throughputPerMcycle);
+}
+
+TEST(MultiDeviceServe, ThreadCountsProduceIdenticalReports)
+{
+    const ServeReport serial =
+        serveAcross(2, ServePolicy::Fcfs, burstOfEight(), 1);
+    const ServeReport parallel =
+        serveAcross(2, ServePolicy::Fcfs, burstOfEight(), 4);
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
+    EXPECT_EQ(serial.summary.wallCycles, parallel.summary.wallCycles);
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+        const RequestRecord &a = serial.records[i];
+        const RequestRecord &b = parallel.records[i];
+        EXPECT_EQ(a.device, b.device);
+        EXPECT_EQ(a.startCycle, b.startCycle);
+        EXPECT_EQ(a.completeCycle, b.completeCycle);
+        EXPECT_EQ(a.executedCycles, b.executedCycles);
+        EXPECT_EQ(a.instructions, b.instructions);
+    }
+    ASSERT_EQ(serial.deviceStats.size(), parallel.deviceStats.size());
+    for (std::size_t k = 0; k < serial.deviceStats.size(); ++k) {
+        EXPECT_EQ(serial.deviceStats[k].completed,
+                  parallel.deviceStats[k].completed);
+        EXPECT_EQ(serial.deviceStats[k].wallCycles,
+                  parallel.deviceStats[k].wallCycles);
+    }
+}
+
+TEST(MultiDeviceServeDeath, MismatchedOrRepeatedDevicesAreFatal)
+{
+    EXPECT_EXIT(
+        {
+            GpuTop gpu;
+            RequestServer server({&gpu, &gpu}, ServeOptions{});
+        },
+        ::testing::ExitedWithCode(1), "repeats device");
+    EXPECT_EXIT(
+        {
+            GpuConfig small = GpuConfig::gtx480();
+            small.numSms = 4;
+            GpuTop a;
+            GpuTop b(small, PowerConfig::gtx480());
+            RequestServer server({&a, &b}, ServeOptions{});
+        },
+        ::testing::ExitedWithCode(1), "identically sized");
+    EXPECT_EXIT(RequestServer({}, ServeOptions{}),
+                ::testing::ExitedWithCode(1), "at least one device");
 }
 
 // --- sm_limit= knob boundaries (docs/MULTI_TENANT.md) ------------------
