@@ -7,19 +7,22 @@
  * GpuTop::forkFrom). Per-point results are identical by construction
  * (asserted); the warm sweep only buys wall-clock time.
  *
+ * Both sweeps run through the unified runSweep() plan API with the
+ * same declarative grid, so their tables align row for row; the export
+ * is the warm sweep's table in the ExportSink::sweepTable() schema
+ * (docs/AUTOTUNE.md).
+ *
  * Usage:
  *   bench_fork_sweep [kernel=<name>] [invocations=<n>] [prefix=<n>]
  *                    [threads=<n>] [export=<path>]
  *
  * invocations=<n> synthesizes an n-invocation schedule from the chosen
- * roster kernel; prefix=<n> of those are the shared warm-up. The JSON
- * export carries every point's suffix metrics for both sweeps.
+ * roster kernel; prefix=<n> of those are the shared warm-up.
  */
 
 #include <chrono>
 #include <functional>
 
-#include "baselines/static_policy.hh"
 #include "bench_util.hh"
 #include "common/config.hh"
 #include "harness/export.hh"
@@ -30,18 +33,6 @@ using namespace equalizer::bench;
 
 namespace
 {
-
-/** One VF x CTA grid point as a static policy. */
-PolicySpec
-operatingPoint(VfState sm_state, int blocks)
-{
-    const std::string name = std::string("vf-") + vfStateName(sm_state) +
-                             "-blocks-" + std::to_string(blocks);
-    return PolicySpec{name, [name, sm_state, blocks] {
-                          return std::make_unique<StaticPolicy>(
-                              name, sm_state, VfState::Normal, blocks);
-                      }};
-}
 
 double
 wallSeconds(const std::function<void()> &work)
@@ -66,8 +57,7 @@ main(int argc, char **argv)
             {"prefix", "shared warm-up invocations", {}},
             {"threads", "worker threads (default: EQ_THREADS or "
                         "hardware)", {}},
-            {"export", "write per-point metrics (.csv/.json)",
-             {"json"}},
+            {"export", "write the sweep table (.csv/.json)", {"json"}},
         });
     const std::string kernel = cfg.getString("kernel", "sgemm");
     const int invocations =
@@ -80,13 +70,15 @@ main(int argc, char **argv)
                               InvocationMod{});
 
     // A 2x3 VF x CTA grid: six operating points sharing one warm-up.
-    std::vector<PolicySpec> points;
-    for (VfState vf : {VfState::Normal, VfState::High})
-        for (int blocks : {1, 2, params.maxBlocksPerSm})
-            points.push_back(operatingPoint(vf, blocks));
+    SweepPlan plan;
+    plan.kernel = params;
+    plan.prefixPolicy = policies::baseline();
+    plan.prefixInvocations = prefix;
+    plan.grid.smStates = {VfState::Normal, VfState::High};
+    plan.grid.memStates = {VfState::Normal};
+    plan.grid.blocks = {1, 2, params.maxBlocksPerSm};
 
-    banner("fork sweep: " + kernel + " x " +
-           std::to_string(points.size()) + " operating points (" +
+    banner("fork sweep: " + kernel + " x 6 operating points (" +
            std::to_string(prefix) + "-invocation shared prefix of " +
            std::to_string(invocations) + ")");
 
@@ -95,26 +87,19 @@ main(int argc, char **argv)
         static_cast<int>(cfg.getInt("threads", -1)));
     SweepResult cold, warm;
     progress("cold sweep (prefix re-simulated per point)");
-    const double cold_s = wallSeconds([&] {
-        cold = runner.runColdSweep(params, policies::baseline(), prefix,
-                                   points);
-    });
+    plan.strategy = SweepStrategy::Cold;
+    const double cold_s =
+        wallSeconds([&] { cold = runner.runSweep(plan); });
     progress("warm sweep (prefix forked via GpuTop::forkFrom)");
-    const double warm_s = wallSeconds([&] {
-        warm = runner.runWarmSweep(params, policies::baseline(), prefix,
-                                   points);
-    });
+    plan.strategy = SweepStrategy::Warm;
+    const double warm_s =
+        wallSeconds([&] { warm = runner.runSweep(plan); });
 
     // The whole point: forking must not change any result.
-    bool identical = true;
+    bool identical = cold.table.size() == warm.table.size();
     TablePrinter t({"operating point", "suffix ms", "IPC", "energy J",
                     "identical"});
-    ExportSink sink = ExportSink::metricsTable();
-    sink.meta("bench", ExportCell::str("fork_sweep"));
-    sink.meta("kernel", ExportCell::str(kernel));
-    sink.meta("invocations", ExportCell::integer(invocations));
-    sink.meta("prefix", ExportCell::integer(prefix));
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t i = 0; i < warm.points.size(); ++i) {
         const auto &c = cold.points[i];
         const auto &w = warm.points[i];
         const bool same =
@@ -123,10 +108,6 @@ main(int argc, char **argv)
             c.total.dynamicJoules == w.total.dynamicJoules &&
             c.total.staticJoules == w.total.staticJoules;
         identical = identical && same;
-        sink.addResult(params.name, "cold-" + c.policy, c.total,
-                       c.invocations);
-        sink.addResult(params.name, "warm-" + w.policy, w.total,
-                       w.invocations);
         t.row({c.policy, fmt(w.total.seconds * 1e3, 3),
                fmt(w.total.ipc(), 3), fmt(w.total.totalJoules(), 5),
                same ? "yes" : "NO"});
@@ -139,6 +120,16 @@ main(int argc, char **argv)
               << "x wall-clock reduction\n";
 
     if (!json_path.empty()) {
+        ExportSink sink = ExportSink::sweepTable();
+        sink.meta("bench", ExportCell::str("fork_sweep"));
+        sink.meta("kernel", ExportCell::str(kernel));
+        sink.meta("invocations", ExportCell::integer(invocations));
+        sink.meta("prefix", ExportCell::integer(prefix));
+        sink.meta("strategy", ExportCell::str("warm"));
+        sink.meta("identical_to_cold",
+                  ExportCell::integer(identical ? 1 : 0));
+        for (const auto &row : warm.table)
+            sink.addSweepPoint(row);
         sink.writeFile(json_path, exportFormatForPath(
                                       json_path, ExportFormat::Json));
         progress("wrote " + json_path);

@@ -25,10 +25,25 @@
  *                baseline policy, fork the warmed GPU state, and run
  *                the rest under the requested policy; the report then
  *                covers only the suffix — see docs/SNAPSHOT.md)
- *   warm_mode=fork|rerun (with warm_start: fork the warmed state via
+ *   sweep_mode=warm|cold (with warm_start: fork the warmed state via
  *                checkpointing, or re-simulate the prefix cold; the
  *                two modes produce byte-identical metrics, which CI
- *                diffs via export=)
+ *                diffs via export=. The deprecated warm_mode= spelling
+ *                and its fork/rerun values still parse, with a
+ *                warning)
+ *   search=exhaustive|model (VF x CTA autotune over the kernel's
+ *                operating-point grid after the warm_start prefix —
+ *                docs/AUTOTUNE.md. exhaustive simulates every grid
+ *                point (warm forks); model fits a bilinear
+ *                cycles+joules predictor to a few warmed probes and
+ *                simulates only the predicted Pareto frontier, then
+ *                reports measured best-performance and best-energy
+ *                configurations. export= writes the unified sweep
+ *                table)
+ *   probe_points=<n> (search=model: warmed probe simulations the
+ *                model is fitted to, default 6)
+ *   pareto_slack=<f> (search=model: epsilon of the predicted Pareto
+ *                frontier cut, default 0.05)
  *   export=<path> (export the measured metrics; format inferred from
  *                the suffix: .csv, .json, .trace.json)
  *   trace=<path> (record an epoch-level execution trace; a .json path
@@ -146,7 +161,19 @@ knobs()
          "cycle-skipping fast path (1 = on, 0 = slow oracle)", {}},
         {"warm_start", "baseline invocations to warm up before the "
                        "requested policy", {}},
-        {"warm_mode", "warm-up handoff: fork or rerun", {}},
+        {"sweep_mode", "warm-up handoff: warm (fork the warmed state) "
+                       "or cold (re-simulate the prefix)",
+         {"warm_mode"}},
+        {"search",
+         "VF x CTA autotune over the operating-point grid: exhaustive "
+         "or model",
+         {}},
+        {"probe_points",
+         "search=model: warmed probe simulations to fit the model to",
+         {}},
+        {"pareto_slack",
+         "search=model: epsilon of the predicted Pareto frontier cut",
+         {}},
         {"export", "write measured metrics (.csv/.json/.trace.json)",
          {"json"}},
         {"trace", "record an execution trace (.json = Chrome "
@@ -443,6 +470,121 @@ runServeMode(const Config &cfg, const GpuConfig &gcfg)
 }
 
 /**
+ * The search= mode (docs/AUTOTUNE.md): sweep the kernel's VF x CTA
+ * operating-point grid after the warm_start prefix — exhaustively or
+ * model-guided — and report the measured best-performance and
+ * best-energy configurations plus the predicted-vs-measured table.
+ */
+int
+runSearchMode(const Config &cfg, const GpuConfig &gcfg)
+{
+    const std::string search = cfg.getString("search", "");
+    if (search != "exhaustive" && search != "model")
+        fatal("search must be 'exhaustive' or 'model', got '", search,
+              "'");
+    const ZooEntry &entry =
+        KernelZoo::byName(cfg.getString("kernel", "kmn"));
+    const int threads = static_cast<int>(cfg.getInt("threads", 0));
+    ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
+
+    SweepPlan plan;
+    plan.kernel = entry.params;
+    plan.strategy = search == "model" ? SweepStrategy::Model
+                                      : SweepStrategy::Warm;
+    plan.prefixPolicy = policies::baseline();
+    plan.prefixInvocations =
+        static_cast<int>(cfg.getInt("warm_start", 2));
+    plan.probePoints = static_cast<int>(cfg.getInt("probe_points", 6));
+    plan.paretoSlack = cfg.getDouble("pareto_slack", 0.05);
+    if (plan.prefixInvocations >= plan.kernel.invocationCount()) {
+        // Most roster kernels run once; a warm-up prefix needs a
+        // longer schedule, so synthesize one (the bench_fork_sweep
+        // trick): warm_start baseline invocations plus a tuned tail.
+        plan.kernel.invocations.assign(
+            static_cast<std::size_t>(plan.prefixInvocations + 1),
+            InvocationMod{});
+    }
+
+    std::cout << "autotune (" << search << ") of " << entry.params.name
+              << " after " << plan.prefixInvocations
+              << " warm-up invocation(s), " << gcfg.numSms << " SMs, "
+              << runner.threads() << " sim thread(s)\n";
+
+    const SweepResult res = runner.runSweep(plan);
+    int simulated = 0;
+    for (const auto &row : res.table)
+        simulated += row.simulated ? 1 : 0;
+
+    if (const std::string export_path = cfg.getString("export", "");
+        !export_path.empty()) {
+        ExportSink sink = ExportSink::sweepTable();
+        sink.meta("kernel", ExportCell::str(entry.params.name));
+        sink.meta("search", ExportCell::str(search));
+        sink.meta("warm_start",
+                  ExportCell::integer(plan.prefixInvocations));
+        sink.meta("grid_points", ExportCell::integer(
+                                     static_cast<std::int64_t>(
+                                         res.table.size())));
+        sink.meta("simulated_points", ExportCell::integer(simulated));
+        sink.meta("best_perf", ExportCell::integer(res.bestPerf));
+        sink.meta("best_energy", ExportCell::integer(res.bestEnergy));
+        if (search == "model") {
+            sink.meta("fit_error_seconds",
+                      ExportCell::num(res.fitErrorSeconds));
+            sink.meta("fit_error_joules",
+                      ExportCell::num(res.fitErrorJoules));
+        }
+        for (const auto &row : res.table)
+            sink.addSweepPoint(row);
+        sink.writeFile(export_path,
+                       exportFormatForPath(export_path,
+                                           ExportFormat::Json));
+    }
+
+    banner("autotune");
+    TablePrinter t({"metric", "value"});
+    t.row({"grid points", std::to_string(res.table.size())});
+    t.row({"simulated points", std::to_string(simulated)});
+    if (search == "model") {
+        t.row({"fit error (time)", pct(res.fitErrorSeconds)});
+        t.row({"fit error (energy)", pct(res.fitErrorJoules)});
+        t.row({"probe IPC", fmt(res.probeIpc, 3)});
+        t.row({"probe memory pressure",
+               fmt(res.probeMemoryPressure, 3)});
+    }
+    if (res.bestPerf >= 0) {
+        const auto &p = res.table[static_cast<std::size_t>(res.bestPerf)];
+        t.row({"best perf", p.policy + " (" +
+                                fmt(p.measuredSeconds * 1e3, 4) +
+                                " ms)"});
+    }
+    if (res.bestEnergy >= 0) {
+        const auto &e =
+            res.table[static_cast<std::size_t>(res.bestEnergy)];
+        t.row({"best energy", e.policy + " (" +
+                                  fmt(e.measuredJoules, 5) + " J)"});
+    }
+    t.print();
+
+    banner("simulated points");
+    TablePrinter pts({"point", "policy", "pred ms", "meas ms", "pred J",
+                      "meas J"});
+    for (const auto &row : res.table) {
+        if (!row.simulated)
+            continue;
+        pts.row({std::to_string(row.id), row.policy,
+                 search == "model" ? fmt(row.predictedSeconds * 1e3, 4)
+                                   : std::string("-"),
+                 fmt(row.measuredSeconds * 1e3, 4),
+                 search == "model" ? fmt(row.predictedJoules, 5)
+                                   : std::string("-"),
+                 fmt(row.measuredJoules, 5)});
+    }
+    pts.print();
+    return 0;
+}
+
+/**
  * The tenants= mode: partition the device, co-run one kernel per
  * tenant and report/export per-tenant attribution.
  */
@@ -618,14 +760,25 @@ main(int argc, char **argv)
     if (!cfg.getString("tenants", "").empty())
         return runTenantsMode(cfg, gcfg);
 
+    if (!cfg.getString("search", "").empty())
+        return runSearchMode(cfg, gcfg);
+
     const ZooEntry &entry = KernelZoo::byName(kernel_name);
     const int threads = static_cast<int>(cfg.getInt("threads", 0));
     const int warm_start =
         static_cast<int>(cfg.getInt("warm_start", 0));
-    const std::string warm_mode = cfg.getString("warm_mode", "fork");
-    if (warm_mode != "fork" && warm_mode != "rerun")
-        fatal("warm_mode must be 'fork' or 'rerun', got '", warm_mode,
-              "'");
+    std::string sweep_mode = cfg.getString("sweep_mode", "warm");
+    if (sweep_mode == "fork" || sweep_mode == "rerun") {
+        const std::string canonical =
+            sweep_mode == "fork" ? "warm" : "cold";
+        warn("sweep_mode value '", sweep_mode,
+             "' is deprecated; use sweep_mode=", canonical);
+        sweep_mode = canonical;
+    }
+    const SweepStrategy strategy = sweepStrategyFromName(sweep_mode);
+    if (strategy == SweepStrategy::Model)
+        fatal("sweep_mode=model is not a warm-start handoff; use "
+              "search=model for the autotuner");
     ExperimentRunner runner(gcfg, PowerConfig::gtx480(), threads);
     const PolicySpec policy = resolvePolicy(policy_name, cfg);
 
@@ -658,7 +811,7 @@ main(int argc, char **argv)
               << runner.threads() << " sim thread(s)";
     if (warm_start > 0) {
         std::cout << ", warm start after " << warm_start
-                  << " baseline invocation(s) (" << warm_mode << ")";
+                  << " baseline invocation(s) (" << sweep_mode << ")";
     }
     std::cout << '\n';
 
@@ -668,12 +821,13 @@ main(int argc, char **argv)
               kernel_name, " has ", entry.params.invocationCount());
     }
     if (warm_start > 0) {
-        const auto sweep =
-            warm_mode == "fork"
-                ? runner.runWarmSweep(entry.params, policies::baseline(),
-                                      warm_start, {policy})
-                : runner.runColdSweep(entry.params, policies::baseline(),
-                                      warm_start, {policy});
+        SweepPlan plan;
+        plan.kernel = entry.params;
+        plan.strategy = strategy;
+        plan.prefixPolicy = policies::baseline();
+        plan.prefixInvocations = warm_start;
+        plan.points = {policy};
+        const auto sweep = runner.runSweep(plan);
         r = sweep.points.at(0);
     } else {
         r = runner.run(entry.params, policy);

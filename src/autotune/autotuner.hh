@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The model-guided sweep driver (docs/AUTOTUNE.md).
+ *
+ * runModelSweep() executes a SweepPlan with SweepStrategy::Model: it
+ * simulates the shared warm-up prefix once, forks a handful of probe
+ * points off the warmed state (plus one traced fork that feeds the
+ * feature extractor), fits a SweepModel to the probe measurements,
+ * predicts time and energy for every grid point, and then simulates
+ * only the predicted epsilon-Pareto frontier — the predicted best-perf
+ * and best-energy points, their CTA neighbours, and as many further
+ * frontier points as the simulation budget (one fifth of the grid)
+ * allows. The returned winners are chosen from *measured* values of
+ * the simulated subset, so a model sweep that explores the true optima
+ * reports exactly the same best-perf/best-energy answers as an
+ * exhaustive sweep (bench/bench_autotune.cc gates this).
+ */
+
+#ifndef EQ_AUTOTUNE_AUTOTUNER_HH
+#define EQ_AUTOTUNE_AUTOTUNER_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+namespace equalizer
+{
+
+/**
+ * Expand a declarative grid into operating points, SM state major,
+ * then memory state, then CTA. An empty CTA axis becomes
+ * 1..effectiveMaxBlocks(cfg, kernel).
+ */
+std::vector<OperatingPoint> expandSweepGrid(const GpuConfig &cfg,
+                                            const KernelParams &kernel,
+                                            const SweepGrid &grid);
+
+/**
+ * The probe schedule of a model sweep: up to @p budget unique grid
+ * points interleaving the two extreme SM/memory frequency ratios
+ * across a spread of CTA values (min, max, mid, ...), so the time
+ * model's per-domain and per-CTA coefficients are all identifiable.
+ */
+std::vector<OperatingPoint>
+selectProbePoints(const std::vector<OperatingPoint> &grid_points,
+                  const SweepGrid &grid, int budget);
+
+/** Model-strategy sweep (declared friend of ExperimentRunner). */
+SweepResult runModelSweep(ExperimentRunner &runner, const SweepPlan &plan);
+
+} // namespace equalizer
+
+#endif // EQ_AUTOTUNE_AUTOTUNER_HH

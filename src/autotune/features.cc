@@ -1,0 +1,104 @@
+#include "features.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "trace/trace_reader.hh"
+
+namespace equalizer
+{
+
+int
+StaticFeatures::wavesAt(int cta) const
+{
+    return wavesForGrid(totalBlocks, numSms, cta);
+}
+
+StaticFeatures
+extractStaticFeatures(const GpuConfig &cfg, const KernelParams &params)
+{
+    StaticFeatures f;
+    f.warpsPerBlock = params.warpsPerBlock;
+    f.totalBlocks = params.totalBlocks;
+    f.instrsPerWarp = params.instrsPerWarp;
+    f.numSms = cfg.numSms;
+
+    double weight = 0.0;
+    for (const auto &ph : params.phases) {
+        f.aluPerMem += ph.weight * ph.aluPerMem;
+        f.sharedFraction += ph.weight * ph.sharedFraction;
+        weight += ph.weight;
+    }
+    if (weight > 0.0) {
+        f.aluPerMem /= weight;
+        f.sharedFraction /= weight;
+    }
+
+    const OccupancyResult occ = computeOccupancy(
+        SmResources::fromConfig(cfg),
+        BlockRequirements::fromKernel(params));
+    f.maxBlocksPerSm = std::min(occ.blocksPerSm, params.maxBlocksPerSm);
+    f.limiter = occ.limiter;
+    f.occupancy =
+        static_cast<double>(f.maxBlocksPerSm * params.warpsPerBlock) /
+        static_cast<double>(std::max(1, cfg.maxWarpsPerSm));
+    return f;
+}
+
+double
+ProbeFeatures::memoryPressure() const
+{
+    return std::min(1.0, waitingFraction + xMemFraction);
+}
+
+ProbeFeatures
+extractProbeFeatures(const RunMetrics &metrics,
+                     const std::vector<std::uint8_t> &trace_bytes)
+{
+    ProbeFeatures f;
+    f.ipc = metrics.ipc();
+    const double active = std::max<double>(
+        1.0, static_cast<double>(metrics.outcomeTotals.active));
+    f.waitingFraction =
+        static_cast<double>(metrics.outcomeTotals.waiting) / active;
+    f.xMemFraction =
+        static_cast<double>(metrics.outcomeTotals.excessMem) / active;
+    f.xAluFraction =
+        static_cast<double>(metrics.outcomeTotals.excessAlu) / active;
+    f.l1HitRate = metrics.l1HitRate();
+    f.dramPerKcycle =
+        metrics.smCycles
+            ? static_cast<double>(metrics.dramAccesses) * 1000.0 /
+                  static_cast<double>(metrics.smCycles)
+            : 0.0;
+
+    if (trace_bytes.empty())
+        return f;
+
+    const TraceReader reader = TraceReader::fromBytes(trace_bytes);
+    const std::vector<std::string> names = reader.gaugeNames();
+    std::vector<double> sums(names.size(), 0.0);
+    std::vector<std::uint64_t> counts(names.size(), 0);
+    for (const auto &e : reader.events()) {
+        if (e.kind == TraceEventKind::Gauge) {
+            const auto id = static_cast<std::size_t>(e.sm);
+            if (id < names.size()) {
+                sums[id] += e.p.d[0];
+                ++counts[id];
+            }
+        } else if (e.kind == TraceEventKind::HighWater && e.sm == 0) {
+            // One HighWater event per SM per epoch drain: counting a
+            // single SM's counts the epochs themselves.
+            ++f.epochSamples;
+        }
+    }
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (counts[i] > 0) {
+            f.gaugeMeans[names[i]] =
+                sums[i] / static_cast<double>(counts[i]);
+        }
+    }
+    return f;
+}
+
+} // namespace equalizer

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Feature extraction for the model-guided sweep (docs/AUTOTUNE.md).
+ *
+ * Two feature families feed the autotuner:
+ *
+ *  - StaticFeatures come from the kernel parameters and the occupancy
+ *    calculator alone — no simulation. They bound the CTA axis and
+ *    provide the wave counts the frontier pruner keys on.
+ *  - ProbeFeatures come from one warmed probe run: the measured
+ *    RunMetrics plus the per-epoch gauge samples of the probe's
+ *    execution trace. They summarize where the kernel's time actually
+ *    went (memory waiting vs issue pressure), which the report and
+ *    export surface next to the fitted model.
+ */
+
+#ifndef EQ_AUTOTUNE_FEATURES_HH
+#define EQ_AUTOTUNE_FEATURES_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autotune/occupancy.hh"
+#include "gpu/metrics.hh"
+
+namespace equalizer
+{
+
+/** Simulation-free features of one kernel on one device. */
+struct StaticFeatures
+{
+    int warpsPerBlock = 0;
+    int totalBlocks = 0;
+    int instrsPerWarp = 0;
+    double aluPerMem = 0.0;      ///< phase-weighted compute:memory mix
+    double sharedFraction = 0.0; ///< phase-weighted shared-memory share
+
+    int maxBlocksPerSm = 0; ///< occupancy- and Table II-limited
+    double occupancy = 0.0; ///< warp occupancy at maxBlocksPerSm
+    OccupancyLimiter limiter = OccupancyLimiter::BlockSlots;
+
+    /** Waves to drain the grid at @p cta concurrent blocks per SM. */
+    int wavesAt(int cta) const;
+
+    int numSms = 0; ///< device SMs the wave count divides over
+};
+
+StaticFeatures extractStaticFeatures(const GpuConfig &cfg,
+                                     const KernelParams &params);
+
+/** What one warmed probe run revealed about the kernel. */
+struct ProbeFeatures
+{
+    double ipc = 0.0;
+    double waitingFraction = 0.0; ///< scoreboard-blocked warp share
+    double xMemFraction = 0.0;    ///< memory-backpressure warp share
+    double xAluFraction = 0.0;    ///< issue-width-blocked warp share
+    double l1HitRate = 0.0;
+    double dramPerKcycle = 0.0;   ///< DRAM accesses per 1000 SM cycles
+
+    /**
+     * Memory-pressure score in [0, 1]: the share of active warp-cycles
+     * spent waiting on memory (waiting + X_mem). The report labels the
+     * kernel memory-bound above 0.5.
+     */
+    double memoryPressure() const;
+
+    /** Mean of every per-epoch gauge over the probe's trace. */
+    std::map<std::string, double> gaugeMeans;
+
+    /** Epoch drains the probe trace recorded (0 without a trace). */
+    std::uint64_t epochSamples = 0;
+};
+
+/**
+ * Aggregate @p metrics and (optionally) a binary probe trace into
+ * ProbeFeatures. @p trace_bytes may be empty (no tracer attached);
+ * gauge means and the epoch-sample count are then zero and the
+ * warp-state fractions come from the metrics outcome totals alone.
+ */
+ProbeFeatures
+extractProbeFeatures(const RunMetrics &metrics,
+                     const std::vector<std::uint8_t> &trace_bytes);
+
+} // namespace equalizer
+
+#endif // EQ_AUTOTUNE_FEATURES_HH

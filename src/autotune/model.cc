@@ -1,0 +1,224 @@
+#include "model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+namespace
+{
+
+/**
+ * Least squares with non-negative coefficients: build the normal
+ * equations over the active columns, solve by Gaussian elimination
+ * with partial pivoting, and while any solved coefficient is negative,
+ * deactivate the most negative one and re-solve. Deterministic: ties
+ * resolve to the lowest column index, near-singular pivots zero their
+ * column instead of dividing by noise.
+ */
+template <std::size_t N>
+std::array<double, N>
+nonNegativeLeastSquares(
+    const std::vector<std::array<double, N>> &rows,
+    const std::vector<double> &targets)
+{
+    std::array<bool, N> active;
+    active.fill(true);
+    std::array<double, N> coef{};
+
+    for (;;) {
+        // Normal equations A^T A x = A^T y over the active columns.
+        double ata[N][N] = {};
+        double aty[N] = {};
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            for (std::size_t i = 0; i < N; ++i) {
+                if (!active[i])
+                    continue;
+                aty[i] += rows[r][i] * targets[r];
+                for (std::size_t j = 0; j < N; ++j) {
+                    if (active[j])
+                        ata[i][j] += rows[r][i] * rows[r][j];
+                }
+            }
+        }
+
+        // Gaussian elimination with partial pivoting; a vanishing
+        // pivot zeroes that unknown (degenerate probe geometry).
+        std::array<std::size_t, N> order{};
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            if (active[i])
+                order[n++] = i;
+        }
+        std::vector<std::vector<double>> a(
+            n, std::vector<double>(n + 1, 0.0));
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                a[i][j] = ata[order[i]][order[j]];
+            a[i][n] = aty[order[i]];
+        }
+        std::vector<double> x(n, 0.0);
+        std::vector<bool> solved(n, true);
+        for (std::size_t col = 0; col < n; ++col) {
+            std::size_t pivot = col;
+            for (std::size_t r = col + 1; r < n; ++r) {
+                if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                    pivot = r;
+            }
+            if (std::fabs(a[pivot][col]) < 1e-12) {
+                solved[col] = false;
+                continue;
+            }
+            std::swap(a[col], a[pivot]);
+            for (std::size_t r = 0; r < n; ++r) {
+                if (r == col)
+                    continue;
+                const double f = a[r][col] / a[col][col];
+                for (std::size_t j = col; j <= n; ++j)
+                    a[r][j] -= f * a[col][j];
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = solved[i] ? a[i][n] / a[i][i] : 0.0;
+
+        // Clamp: drop the most negative coefficient and refit.
+        std::size_t worst = n;
+        double worst_val = -1e-12;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (x[i] < worst_val) {
+                worst_val = x[i];
+                worst = i;
+            }
+        }
+        if (worst == n) {
+            coef.fill(0.0);
+            for (std::size_t i = 0; i < n; ++i)
+                coef[order[i]] = x[i] < 0.0 ? 0.0 : x[i];
+            return coef;
+        }
+        active[order[worst]] = false;
+    }
+}
+
+} // namespace
+
+std::array<double, SweepModel::numTimeTerms>
+SweepModel::timeBasis(const OperatingPoint &p) const
+{
+    const double x = frequencyScale(p.smVf);
+    const double m = frequencyScale(p.memVf);
+    const double c = static_cast<double>(p.cta);
+    return {1.0 / m,     1.0 / (m * c), c / m,
+            1.0 / x,     1.0 / (x * c), c / x};
+}
+
+std::array<double, SweepModel::numEnergyTerms>
+SweepModel::energyBasis(const OperatingPoint &p) const
+{
+    const double x = frequencyScale(p.smVf);
+    const double m = frequencyScale(p.memVf);
+    return {1.0, x * x, m * m, predictSeconds(p)};
+}
+
+SweepModel
+SweepModel::fit(const std::vector<MeasuredSample> &samples, double sm_hz)
+{
+    if (samples.empty())
+        fatal("SweepModel::fit needs at least one probe sample");
+
+    SweepModel model;
+    model.smHz_ = sm_hz;
+    double mean = 0.0;
+    for (const auto &s : samples)
+        mean += s.seconds;
+    model.fallbackSeconds_ = mean / static_cast<double>(samples.size());
+
+    std::vector<std::array<double, numTimeTerms>> time_rows;
+    std::vector<double> seconds;
+    for (const auto &s : samples) {
+        time_rows.push_back(model.timeBasis(s.point));
+        seconds.push_back(s.seconds);
+    }
+    model.timeCoef_ = nonNegativeLeastSquares(time_rows, seconds);
+
+    std::vector<std::array<double, numEnergyTerms>> energy_rows;
+    std::vector<double> joules;
+    for (const auto &s : samples) {
+        energy_rows.push_back(model.energyBasis(s.point));
+        joules.push_back(s.joules);
+    }
+    model.energyCoef_ = nonNegativeLeastSquares(energy_rows, joules);
+
+    double sec_err = 0.0;
+    double joule_err = 0.0;
+    for (const auto &s : samples) {
+        if (s.seconds > 0.0) {
+            sec_err += std::fabs(model.predictSeconds(s.point) -
+                                 s.seconds) /
+                       s.seconds;
+        }
+        if (s.joules > 0.0) {
+            joule_err += std::fabs(model.predictJoules(s.point) -
+                                   s.joules) /
+                         s.joules;
+        }
+    }
+    model.fitErrSeconds_ = sec_err / static_cast<double>(samples.size());
+    model.fitErrJoules_ = joule_err / static_cast<double>(samples.size());
+    return model;
+}
+
+double
+SweepModel::predictSeconds(const OperatingPoint &p) const
+{
+    const auto basis = timeBasis(p);
+    double sec = 0.0;
+    for (std::size_t i = 0; i < numTimeTerms; ++i)
+        sec += timeCoef_[i] * basis[i];
+    return sec > 0.0 ? sec : fallbackSeconds_;
+}
+
+double
+SweepModel::predictCycles(const OperatingPoint &p) const
+{
+    return predictSeconds(p) * frequencyScale(p.smVf) * smHz_;
+}
+
+double
+SweepModel::predictJoules(const OperatingPoint &p) const
+{
+    const auto basis = energyBasis(p);
+    double joules = 0.0;
+    for (std::size_t i = 0; i < numEnergyTerms; ++i)
+        joules += energyCoef_[i] * basis[i];
+    return joules;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::pair<double, double>> &objectives,
+               double slack)
+{
+    if (slack < 0.0)
+        fatal("paretoFrontier: slack must be non-negative, got ", slack);
+    const double keep = 1.0 + slack;
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < objectives.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < objectives.size() && !dominated;
+             ++j) {
+            if (j == i)
+                continue;
+            // j must beat i by more than the slack on BOTH axes.
+            dominated =
+                objectives[j].first * keep < objectives[i].first &&
+                objectives[j].second * keep < objectives[i].second;
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace equalizer

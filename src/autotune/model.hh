@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fitted performance/energy model behind the model-guided sweep
+ * (docs/AUTOTUNE.md).
+ *
+ * Form: a wave-aware bilinear time model in the spirit of WaveTune
+ * (arXiv:2604.10187). With x = SM frequency scale, m = memory
+ * frequency scale and c = concurrent blocks per SM,
+ *
+ *   seconds(c, x, m) = M(c) / m + K(c) / x,
+ *   M(c), K(c)       = a + b/c + d*c            (all coefficients >= 0)
+ *
+ * M is the memory-bound share (scales with the memory clock), K the
+ * compute-bound share (scales with the SM clock); both get a rational
+ * CTA shape whose b/c term models wave parallelism and whose d*c term
+ * models contention growth (cache thrash), so an interior CTA optimum
+ * is representable. Energy is a second stage over the time model:
+ *
+ *   joules(c, x, m) = r0 + r1*x^2 + r2*m^2 + r3*seconds(c, x, m)
+ *
+ * (dynamic energy scales with V^2 ~ f^2 per domain, static energy
+ * with time; all coefficients >= 0, so an interior VF energy optimum
+ * is representable).
+ *
+ * Both stages fit by least squares with a deterministic non-negativity
+ * active-set loop: solve, zero the most negative coefficient, repeat.
+ * The non-negative coefficients make two properties structural, and
+ * tests/autotune_test.cc asserts them across the synthetic zoo:
+ * predicted seconds are non-increasing in either frequency, and
+ * predicted SM cycles (seconds * x * f_nom) are non-decreasing in x.
+ */
+
+#ifndef EQ_AUTOTUNE_MODEL_HH
+#define EQ_AUTOTUNE_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "sim/vf.hh"
+
+namespace equalizer
+{
+
+/** One simulated probe: an operating point and what it measured. */
+struct MeasuredSample
+{
+    OperatingPoint point;
+    double seconds = 0.0;
+    double joules = 0.0;
+};
+
+/** The fitted seconds+joules surface over (VF, CTA). */
+class SweepModel
+{
+  public:
+    /**
+     * Fit both stages from @p samples (needs at least one; six or
+     * more well-spread probes identify all coefficients). @p sm_hz is
+     * the nominal SM clock used to express predictions in cycles.
+     */
+    static SweepModel fit(const std::vector<MeasuredSample> &samples,
+                          double sm_hz);
+
+    double predictSeconds(const OperatingPoint &p) const;
+    double predictJoules(const OperatingPoint &p) const;
+
+    /** predictSeconds() expressed in SM cycles at the point's clock. */
+    double predictCycles(const OperatingPoint &p) const;
+
+    /** Mean |predicted - measured| / measured over the fit set. */
+    double fitErrorSeconds() const { return fitErrSeconds_; }
+    double fitErrorJoules() const { return fitErrJoules_; }
+
+  private:
+    static constexpr std::size_t numTimeTerms = 6;
+    static constexpr std::size_t numEnergyTerms = 4;
+
+    std::array<double, numTimeTerms> timeBasis(const OperatingPoint &p)
+        const;
+    std::array<double, numEnergyTerms>
+    energyBasis(const OperatingPoint &p) const;
+
+    std::array<double, numTimeTerms> timeCoef_{};
+    std::array<double, numEnergyTerms> energyCoef_{};
+    double smHz_ = 1.0;
+    double fallbackSeconds_ = 0.0; ///< mean; used if the fit degenerates
+    double fitErrSeconds_ = 0.0;
+    double fitErrJoules_ = 0.0;
+};
+
+/**
+ * Indices of the epsilon-Pareto frontier of @p objectives (both axes
+ * minimized). A point survives unless another point beats it by more
+ * than the slack factor on both axes (and strictly on one); slack 0 is
+ * the exact frontier, larger values keep a band of near-frontier
+ * points. Returned in input order.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::pair<double, double>> &objectives,
+               double slack);
+
+} // namespace equalizer
+
+#endif // EQ_AUTOTUNE_MODEL_HH

@@ -1,0 +1,158 @@
+#include "occupancy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace equalizer
+{
+
+SmResources
+SmResources::fromConfig(const GpuConfig &cfg)
+{
+    SmResources r;
+    r.maxWarps = cfg.maxWarpsPerSm;
+    r.maxBlocks = cfg.maxBlocksPerSm;
+    return r;
+}
+
+BlockRequirements
+BlockRequirements::fromKernel(const KernelParams &params)
+{
+    BlockRequirements req;
+    req.warpsPerBlock = params.warpsPerBlock;
+    req.regsPerThread = 21;
+
+    // Weighted shared fraction over the phase schedule; a kernel that
+    // touches shared memory at all stages a per-warp working set there.
+    double shared = 0.0;
+    double weight = 0.0;
+    std::size_t ws = 0;
+    for (const auto &ph : params.phases) {
+        shared += ph.weight * ph.sharedFraction;
+        weight += ph.weight;
+        ws = std::max(ws, ph.workingSetBytes);
+    }
+    if (weight > 0.0 && shared / weight > 0.0) {
+        req.smemPerBlock =
+            static_cast<std::size_t>(params.warpsPerBlock) * ws;
+    }
+    return req;
+}
+
+const char *
+occupancyLimiterName(OccupancyLimiter l)
+{
+    switch (l) {
+      case OccupancyLimiter::BlockSlots:
+        return "block-slots";
+      case OccupancyLimiter::Warps:
+        return "warps";
+      case OccupancyLimiter::Registers:
+        return "registers";
+      case OccupancyLimiter::SharedMem:
+        return "shared-memory";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Round @p v up to a multiple of @p unit (unit >= 1). */
+std::size_t
+roundUp(std::size_t v, std::size_t unit)
+{
+    return unit <= 1 ? v : (v + unit - 1) / unit * unit;
+}
+
+} // namespace
+
+OccupancyResult
+computeOccupancy(const SmResources &sm, const BlockRequirements &block)
+{
+    if (block.warpsPerBlock <= 0)
+        fatal("occupancy: warpsPerBlock must be positive, got ",
+              block.warpsPerBlock);
+    if (sm.maxWarps <= 0 || sm.maxBlocks <= 0)
+        fatal("occupancy: SM has no warp/block slots (maxWarps=",
+              sm.maxWarps, ", maxBlocks=", sm.maxBlocks, ")");
+    if (block.regsPerThread < 0)
+        fatal("occupancy: negative regsPerThread ", block.regsPerThread);
+
+    OccupancyResult result;
+    result.blocksPerSm = sm.maxBlocks;
+    result.limiter = OccupancyLimiter::BlockSlots;
+
+    auto tighten = [&result](int blocks, OccupancyLimiter why) {
+        if (blocks < result.blocksPerSm) {
+            result.blocksPerSm = blocks;
+            result.limiter = why;
+        }
+    };
+
+    tighten(sm.maxWarps / block.warpsPerBlock, OccupancyLimiter::Warps);
+
+    if (block.regsPerThread > 0) {
+        if (sm.registerFile <= 0) {
+            fatal("occupancy: kernel needs ", block.regsPerThread,
+                  " regs/thread but the SM has no register file");
+        }
+        // Registers allocate per warp, 32 threads each, rounded to the
+        // allocation unit.
+        const std::size_t per_warp =
+            roundUp(static_cast<std::size_t>(block.regsPerThread) * 32,
+                    static_cast<std::size_t>(std::max(1, sm.regAllocUnit)));
+        const std::size_t per_block =
+            per_warp * static_cast<std::size_t>(block.warpsPerBlock);
+        tighten(static_cast<int>(
+                    static_cast<std::size_t>(sm.registerFile) / per_block),
+                OccupancyLimiter::Registers);
+    }
+
+    if (block.smemPerBlock > 0) {
+        if (sm.sharedMemBytes == 0) {
+            fatal("occupancy: kernel needs ", block.smemPerBlock,
+                  " B of shared memory but the SM has none");
+        }
+        const std::size_t per_block =
+            roundUp(block.smemPerBlock, sm.smemAllocUnit);
+        tighten(static_cast<int>(sm.sharedMemBytes / per_block),
+                OccupancyLimiter::SharedMem);
+    }
+
+    if (result.blocksPerSm <= 0) {
+        fatal("occupancy: one block (", block.warpsPerBlock, " warps, ",
+              block.regsPerThread, " regs/thread, ", block.smemPerBlock,
+              " B smem) does not fit on an empty SM; limited by ",
+              occupancyLimiterName(result.limiter));
+    }
+
+    result.activeWarps = result.blocksPerSm * block.warpsPerBlock;
+    result.occupancy = static_cast<double>(result.activeWarps) /
+                       static_cast<double>(sm.maxWarps);
+    return result;
+}
+
+int
+wavesForGrid(int total_blocks, int num_sms, int blocks_per_sm)
+{
+    if (total_blocks <= 0)
+        return 0;
+    if (num_sms <= 0 || blocks_per_sm <= 0)
+        fatal("wavesForGrid: need positive SMs and blocks per SM, got ",
+              num_sms, " and ", blocks_per_sm);
+    const int per_sm = (total_blocks + num_sms - 1) / num_sms;
+    return (per_sm + blocks_per_sm - 1) / blocks_per_sm;
+}
+
+int
+effectiveMaxBlocks(const GpuConfig &cfg, const KernelParams &params)
+{
+    const OccupancyResult occ = computeOccupancy(
+        SmResources::fromConfig(cfg),
+        BlockRequirements::fromKernel(params));
+    return std::min(occ.blocksPerSm, params.maxBlocksPerSm);
+}
+
+} // namespace equalizer

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Static occupancy calculator (docs/AUTOTUNE.md).
+ *
+ * Answers the question every CTA-tuning decision starts from: how many
+ * thread blocks of a kernel can be resident on one SM at once, and
+ * which resource runs out first. The calculator mirrors the classic
+ * CUDA occupancy spreadsheet: blocks are limited by warp slots, block
+ * slots, the register file and shared memory, each with its own
+ * allocation granularity; the binding resource is the minimum.
+ *
+ * The synthetic zoo carries its Table II occupancy limit in
+ * KernelParams::maxBlocksPerSm; the calculator reproduces that bound
+ * from first principles and the autotuner uses the tighter of the two
+ * when it builds a CTA grid.
+ */
+
+#ifndef EQ_AUTOTUNE_OCCUPANCY_HH
+#define EQ_AUTOTUNE_OCCUPANCY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "gpu/gpu_config.hh"
+#include "kernels/kernel_params.hh"
+
+namespace equalizer
+{
+
+/** Per-SM resource pools an occupancy computation divides up. */
+struct SmResources
+{
+    int maxWarps = 48;  ///< warp slots (GTX480: 48)
+    int maxBlocks = 8;  ///< block slots (GTX480: 8)
+
+    /** 32-bit registers per SM (Fermi: 32 K). */
+    int registerFile = 32768;
+
+    /** Per-warp register allocation granularity (Fermi: 64). */
+    int regAllocUnit = 64;
+
+    /** Shared-memory bytes per SM (Fermi: 48 KiB). */
+    std::size_t sharedMemBytes = 49152;
+
+    /** Shared-memory allocation granularity in bytes (Fermi: 128). */
+    std::size_t smemAllocUnit = 128;
+
+    /**
+     * Warp/block slots from @p cfg, register file and shared memory
+     * from the GTX480 defaults above.
+     */
+    static SmResources fromConfig(const GpuConfig &cfg);
+};
+
+/** What one thread block of a kernel asks of an SM. */
+struct BlockRequirements
+{
+    int warpsPerBlock = 0;        ///< warp slots per block (required > 0)
+    int regsPerThread = 0;        ///< 0 = no register pressure
+    std::size_t smemPerBlock = 0; ///< shared-memory bytes per block
+
+    /**
+     * Derive the requirements of one zoo kernel: warps from W_cta, a
+     * fixed 21-registers-per-thread estimate (the zoo does not model
+     * register allocation) and a shared-memory footprint of one
+     * working set per warp scaled by the kernel's weighted shared
+     * fraction.
+     */
+    static BlockRequirements fromKernel(const KernelParams &params);
+};
+
+/** The resource that caps residency. */
+enum class OccupancyLimiter
+{
+    BlockSlots, ///< SmResources::maxBlocks
+    Warps,      ///< warp slots
+    Registers,  ///< register file
+    SharedMem,  ///< shared memory
+};
+
+const char *occupancyLimiterName(OccupancyLimiter l);
+
+/** Result of one occupancy computation. */
+struct OccupancyResult
+{
+    int blocksPerSm = 0;     ///< maximum resident blocks
+    int activeWarps = 0;     ///< blocksPerSm * warpsPerBlock
+    double occupancy = 0.0;  ///< activeWarps / maxWarps
+    OccupancyLimiter limiter = OccupancyLimiter::BlockSlots;
+};
+
+/**
+ * Maximum resident blocks per SM and the binding resource.
+ *
+ * fatal()s on impossible inputs: non-positive warp requirements or
+ * pools, or a block that does not fit on an empty SM (zero resident
+ * blocks has no occupancy).  Ties between limiters resolve in the
+ * OccupancyLimiter declaration order, so the reported limiter is
+ * deterministic.
+ */
+OccupancyResult computeOccupancy(const SmResources &sm,
+                                 const BlockRequirements &block);
+
+/**
+ * Waves needed to drain @p total_blocks over @p num_sms SMs running
+ * @p blocks_per_sm concurrent blocks each (the WaveTune wave count:
+ * points in the same wave class perform nearly identically).
+ */
+int wavesForGrid(int total_blocks, int num_sms, int blocks_per_sm);
+
+/**
+ * The CTA axis the autotuner sweeps for @p params on @p cfg: the
+ * calculator's bound clamped by the kernel's Table II limit and the
+ * device block slots.
+ */
+int effectiveMaxBlocks(const GpuConfig &cfg, const KernelParams &params);
+
+} // namespace equalizer
+
+#endif // EQ_AUTOTUNE_OCCUPANCY_HH

@@ -336,6 +336,44 @@ ExportSink::addTenantMetrics(const std::string &policy,
 }
 
 ExportSink
+ExportSink::sweepTable()
+{
+    return ExportSink({
+        "point",
+        "policy",
+        "sm_vf",
+        "mem_vf",
+        "cta",
+        "predicted_seconds",
+        "predicted_cycles",
+        "predicted_joules",
+        "measured_seconds",
+        "measured_cycles",
+        "measured_joules",
+        "simulated",
+    });
+}
+
+void
+ExportSink::addSweepPoint(const SweepPointRow &p)
+{
+    row({
+        ExportCell::integer(p.id),
+        ExportCell::str(p.policy),
+        ExportCell::str(vfStateName(p.smVf)),
+        ExportCell::str(vfStateName(p.memVf)),
+        ExportCell::integer(p.cta),
+        ExportCell::num(p.predictedSeconds),
+        ExportCell::num(p.predictedCycles),
+        ExportCell::num(p.predictedJoules),
+        ExportCell::num(p.measuredSeconds),
+        ExportCell::num(p.measuredCycles),
+        ExportCell::num(p.measuredJoules),
+        ExportCell::integer(p.simulated ? 1 : 0),
+    });
+}
+
+ExportSink
 ExportSink::serveTable()
 {
     return ExportSink({

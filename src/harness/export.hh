@@ -26,6 +26,7 @@
 
 #include "gpu/metrics.hh"
 #include "gpu/tenant.hh"
+#include "harness/sweep.hh"
 
 namespace equalizer
 {
@@ -115,6 +116,15 @@ class ExportSink
     /** Append one per-tenant attribution row of a co-run. */
     void addTenantMetrics(const std::string &policy,
                           const TenantRunMetrics &t);
+
+    // --- The sweep-table schema (docs/AUTOTUNE.md): one row per grid
+    // point with predictions, measurements and the simulated flag.
+
+    /** A sink with the unified sweep-point column set. */
+    static ExportSink sweepTable();
+
+    /** Append one grid-point row of a sweep table. */
+    void addSweepPoint(const SweepPointRow &p);
 
     // --- The serving schema (docs/SERVING.md): per-request rows and
     // the aggregate latency/throughput/SLO summary.

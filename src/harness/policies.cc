@@ -64,6 +64,18 @@ staticBlocks(int blocks)
 }
 
 PolicySpec
+operatingPoint(VfState sm_vf, VfState mem_vf, int blocks)
+{
+    const std::string name = std::string("sm-") + vfStateName(sm_vf) +
+                             "-mem-" + vfStateName(mem_vf) + "-cta-" +
+                             std::to_string(blocks);
+    return PolicySpec{name, [name, sm_vf, mem_vf, blocks] {
+                          return std::make_unique<StaticPolicy>(
+                              name, sm_vf, mem_vf, blocks);
+                      }};
+}
+
+PolicySpec
 equalizer(EqualizerMode mode, EqualizerConfig cfg)
 {
     cfg.mode = mode;

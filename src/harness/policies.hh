@@ -12,6 +12,7 @@
 
 #include "equalizer/equalizer.hh"
 #include "gpu/controller.hh"
+#include "sim/vf.hh"
 
 namespace equalizer
 {
@@ -44,6 +45,13 @@ PolicySpec memLow();
 
 /** Statically fixed concurrent block count (Figures 1e, 2a, 5). */
 PolicySpec staticBlocks(int blocks);
+
+/**
+ * One VF x CTA grid point of a sweep: both VF domains pinned plus a
+ * fixed concurrent block count. Named "sm-<s>-mem-<m>-cta-<n>" — the
+ * canonical point id of the sweep table (docs/AUTOTUNE.md).
+ */
+PolicySpec operatingPoint(VfState sm_vf, VfState mem_vf, int blocks);
 
 /** The Equalizer runtime in one of its two objectives. */
 PolicySpec equalizer(EqualizerMode mode,

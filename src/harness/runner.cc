@@ -2,11 +2,39 @@
 
 #include <cmath>
 
+#include "autotune/autotuner.hh"
 #include "common/log.hh"
 #include "kernels/kernel_zoo.hh"
 
 namespace equalizer
 {
+
+const char *
+sweepStrategyName(SweepStrategy s)
+{
+    switch (s) {
+      case SweepStrategy::Cold:
+        return "cold";
+      case SweepStrategy::Warm:
+        return "warm";
+      case SweepStrategy::Model:
+        return "model";
+    }
+    return "?";
+}
+
+SweepStrategy
+sweepStrategyFromName(const std::string &name)
+{
+    if (name == "cold")
+        return SweepStrategy::Cold;
+    if (name == "warm")
+        return SweepStrategy::Warm;
+    if (name == "model")
+        return SweepStrategy::Model;
+    fatal("unknown sweep strategy '", name,
+          "' (expected cold, warm or model)");
+}
 
 double
 speedupOver(const RunMetrics &baseline, const RunMetrics &variant)
@@ -125,11 +153,9 @@ ExperimentRunner::runSuffix(GpuTop &gpu, const KernelParams &kernel,
     return result;
 }
 
-SweepResult
-ExperimentRunner::runColdSweep(const KernelParams &kernel,
-                               const PolicySpec &prefix_policy,
-                               int prefix_invocations,
-                               const std::vector<PolicySpec> &points)
+void
+ExperimentRunner::checkPrefix(const KernelParams &kernel,
+                              int prefix_invocations) const
 {
     if (prefix_invocations < 0 ||
         prefix_invocations > kernel.invocationCount()) {
@@ -137,28 +163,149 @@ ExperimentRunner::runColdSweep(const KernelParams &kernel,
               " invocations is outside this kernel's schedule of ",
               kernel.invocationCount());
     }
+}
+
+namespace
+{
+
+/**
+ * Fill the grid table of an exhaustive (cold/warm) sweep: every grid
+ * point was simulated in id order, so measurement i belongs to row i.
+ */
+void
+fillExhaustiveTable(SweepResult &result,
+                    const std::vector<OperatingPoint> &grid_points,
+                    const std::vector<PolicySpec> &policies)
+{
+    for (std::size_t i = 0; i < grid_points.size(); ++i) {
+        const RunMetrics &m = result.points[i].total;
+        SweepPointRow row;
+        row.id = static_cast<int>(i);
+        row.policy = policies[i].name;
+        row.smVf = grid_points[i].smVf;
+        row.memVf = grid_points[i].memVf;
+        row.cta = grid_points[i].cta;
+        row.measuredSeconds = m.seconds;
+        row.measuredCycles = static_cast<double>(m.smCycles);
+        row.measuredJoules = m.totalJoules();
+        row.simulated = true;
+        result.table.push_back(std::move(row));
+    }
+    result.bestPerf = bestSweepRow(result.table, false);
+    result.bestEnergy = bestSweepRow(result.table, true);
+}
+
+} // namespace
+
+int
+bestSweepRow(const std::vector<SweepPointRow> &table, bool by_energy)
+{
+    int best = -1;
+    double best_value = 0.0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (!table[i].simulated)
+            continue;
+        const double v = by_energy ? table[i].measuredJoules
+                                   : table[i].measuredSeconds;
+        // Rows are visited in ascending id order, so "strictly less"
+        // breaks measured ties toward the lower id.
+        if (best < 0 || v < best_value) {
+            best = static_cast<int>(i);
+            best_value = v;
+        }
+    }
+    return best;
+}
+
+SweepResult
+ExperimentRunner::runSweep(const SweepPlan &plan)
+{
+    checkPrefix(plan.kernel, plan.prefixInvocations);
+    if (plan.strategy == SweepStrategy::Model)
+        return runModelSweep(*this, plan);
+
+    // Explicit points keep the legacy shim behaviour (no table); a
+    // grid-driven plan expands to operating-point policies and fills
+    // the table afterwards.
+    std::vector<OperatingPoint> grid_points;
+    std::vector<PolicySpec> points = plan.points;
+    if (points.empty()) {
+        grid_points = expandSweepGrid(gpuCfg_, plan.kernel, plan.grid);
+        for (const auto &op : grid_points)
+            points.push_back(
+                policies::operatingPoint(op.smVf, op.memVf, op.cta));
+    }
 
     SweepResult result;
-    for (const auto &point : points) {
-        GpuTop gpu(gpuCfg_, powerCfg_);
-        gpu.setParallelExecutor(executor_.get());
-        if (tracer_)
-            gpu.setTracer(tracer_);
+    if (plan.strategy == SweepStrategy::Cold) {
+        for (const auto &point : points) {
+            GpuTop gpu(gpuCfg_, powerCfg_);
+            gpu.setParallelExecutor(executor_.get());
+            if (tracer_)
+                gpu.setTracer(tracer_);
 
-        auto warmup = prefix_policy.build();
-        gpu.setController(warmup.get());
-        for (int inv = 0; inv < prefix_invocations; ++inv) {
-            SyntheticKernel launch(kernel, inv);
-            gpu.runKernel(launch);
+            auto warmup = plan.prefixPolicy.build();
+            gpu.setController(warmup.get());
+            for (int inv = 0; inv < plan.prefixInvocations; ++inv) {
+                SyntheticKernel launch(plan.kernel, inv);
+                gpu.runKernel(launch);
+                ++stats_.counter("sweep.prefix_invocations");
+            }
+
+            result.points.push_back(runSuffix(gpu, plan.kernel, point,
+                                              plan.prefixInvocations));
+            ++stats_.counter("sweep.points");
+        }
+    } else {
+        GpuTop parent(gpuCfg_, powerCfg_);
+        parent.setParallelExecutor(executor_.get());
+        if (tracer_)
+            parent.setTracer(tracer_);
+        auto warmup = plan.prefixPolicy.build();
+        parent.setController(warmup.get());
+        for (int inv = 0; inv < plan.prefixInvocations; ++inv) {
+            SyntheticKernel launch(plan.kernel, inv);
+            parent.runKernel(launch);
             ++stats_.counter("sweep.prefix_invocations");
         }
+        parent.setController(nullptr);
 
-        result.points.push_back(
-            runSuffix(gpu, kernel, point, prefix_invocations));
-        ++stats_.counter("sweep.points");
+        for (const auto &point : points) {
+            // Fork with no controller installed: the warm-up policy's
+            // internal state is dropped, exactly as a cold point that
+            // builds its controller after the prefix.
+            GpuTop child(gpuCfg_, powerCfg_);
+            child.setParallelExecutor(executor_.get());
+            if (tracer_)
+                child.setTracer(tracer_);
+            child.forkFrom(parent);
+            ++stats_.counter("sweep.forks");
+
+            result.points.push_back(runSuffix(child, plan.kernel, point,
+                                              plan.prefixInvocations));
+            ++stats_.counter("sweep.points");
+        }
     }
+
+    if (!grid_points.empty())
+        fillExhaustiveTable(result, grid_points, points);
     result.stats = stats_.snapshotAndReset();
     return result;
+}
+
+SweepResult
+ExperimentRunner::runColdSweep(const KernelParams &kernel,
+                               const PolicySpec &prefix_policy,
+                               int prefix_invocations,
+                               const std::vector<PolicySpec> &points)
+{
+    SweepPlan plan;
+    plan.kernel = kernel;
+    plan.strategy = SweepStrategy::Cold;
+    plan.prefixPolicy = prefix_policy;
+    plan.prefixInvocations = prefix_invocations;
+    plan.points = points;
+    return runSweep(plan);
 }
 
 SweepResult
@@ -167,44 +314,13 @@ ExperimentRunner::runWarmSweep(const KernelParams &kernel,
                                int prefix_invocations,
                                const std::vector<PolicySpec> &points)
 {
-    if (prefix_invocations < 0 ||
-        prefix_invocations > kernel.invocationCount()) {
-        fatal("sweep prefix of ", prefix_invocations,
-              " invocations is outside this kernel's schedule of ",
-              kernel.invocationCount());
-    }
-
-    GpuTop parent(gpuCfg_, powerCfg_);
-    parent.setParallelExecutor(executor_.get());
-    if (tracer_)
-        parent.setTracer(tracer_);
-    auto warmup = prefix_policy.build();
-    parent.setController(warmup.get());
-    for (int inv = 0; inv < prefix_invocations; ++inv) {
-        SyntheticKernel launch(kernel, inv);
-        parent.runKernel(launch);
-        ++stats_.counter("sweep.prefix_invocations");
-    }
-    parent.setController(nullptr);
-
-    SweepResult result;
-    for (const auto &point : points) {
-        // Fork with no controller installed: the warm-up policy's
-        // internal state is dropped, exactly as a cold point that
-        // builds its controller after the prefix.
-        GpuTop child(gpuCfg_, powerCfg_);
-        child.setParallelExecutor(executor_.get());
-        if (tracer_)
-            child.setTracer(tracer_);
-        child.forkFrom(parent);
-        ++stats_.counter("sweep.forks");
-
-        result.points.push_back(
-            runSuffix(child, kernel, point, prefix_invocations));
-        ++stats_.counter("sweep.points");
-    }
-    result.stats = stats_.snapshotAndReset();
-    return result;
+    SweepPlan plan;
+    plan.kernel = kernel;
+    plan.strategy = SweepStrategy::Warm;
+    plan.prefixPolicy = prefix_policy;
+    plan.prefixInvocations = prefix_invocations;
+    plan.points = points;
+    return runSweep(plan);
 }
 
 } // namespace equalizer

@@ -15,6 +15,7 @@
 #include "common/stats.hh"
 #include "gpu/gpu_top.hh"
 #include "harness/policies.hh"
+#include "harness/sweep.hh"
 #include "kernels/kernel_params.hh"
 #include "kernels/synthetic_kernel.hh"
 #include "power/energy_model.hh"
@@ -40,8 +41,28 @@ struct AppRunResult
  */
 struct SweepResult
 {
-    std::vector<AppRunResult> points;
+    std::vector<AppRunResult> points; ///< one per *simulated* point
     StatRegistry stats; ///< sweep.* counters (forks, invocations, ...)
+
+    /**
+     * One row per grid point when the plan was grid-driven (empty for
+     * explicit-point sweeps): ids, predictions, measurements and the
+     * simulated flag — the ExportSink::sweepTable() schema.
+     */
+    std::vector<SweepPointRow> table;
+
+    /** Table indices of the measured winners (-1 = no table). */
+    int bestPerf = -1;   ///< lowest measured seconds, ties to lower id
+    int bestEnergy = -1; ///< lowest measured joules, ties to lower id
+
+    /** Model strategy only: mean relative error over the probe fit. */
+    double fitErrorSeconds = 0.0;
+    double fitErrorJoules = 0.0;
+
+    /** Model strategy only: probe-run features (docs/AUTOTUNE.md). */
+    double probeIpc = 0.0;
+    double probeMemoryPressure = 0.0;
+    std::uint64_t probeEpochSamples = 0;
 };
 
 /** Relative performance: baseline time / variant time (>1 = faster). */
@@ -91,6 +112,9 @@ class ExperimentRunner
      */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /** The tracer every run records into (nullptr = none). */
+    Tracer *tracer() const { return tracer_; }
+
     /**
      * Simulate every invocation of @p kernel under @p policy.
      *
@@ -106,13 +130,27 @@ class ExperimentRunner
                            const Instrument &instrument = {});
 
     /**
-     * Sweep @p points over the tail of @p kernel's invocation schedule.
-     * Every point observes the same history: invocations
-     * [0, prefix_invocations) run under @p prefix_policy, then the
-     * point's own (freshly built) policy runs the rest. Each point's
-     * AppRunResult covers only the suffix.
+     * Execute one sweep plan (docs/AUTOTUNE.md).
      *
-     * The cold sweep re-simulates the prefix for every point.
+     * Every point observes the same history: invocations
+     * [0, plan.prefixInvocations) run under plan.prefixPolicy, then
+     * the point's own (freshly built) policy runs the rest; each
+     * point's AppRunResult covers only the suffix. The strategy only
+     * decides how that history is paid for — Cold re-simulates the
+     * prefix per point, Warm simulates it once and forks each point
+     * (bit-identical per-point results), Model additionally fits a
+     * predictor to a few warmed probes and simulates only the
+     * predicted Pareto frontier. Grid-driven plans (empty
+     * plan.points) also fill SweepResult::table and the winner
+     * indices.
+     */
+    SweepResult runSweep(const SweepPlan &plan);
+
+    /**
+     * Sweep explicit @p points with the Cold strategy.
+     *
+     * @deprecated Shim over runSweep(); kept for existing callers,
+     * byte-identical results. New code should build a SweepPlan.
      */
     SweepResult runColdSweep(const KernelParams &kernel,
                              const PolicySpec &prefix_policy,
@@ -120,10 +158,11 @@ class ExperimentRunner
                              const std::vector<PolicySpec> &points);
 
     /**
-     * Same contract and bit-identical per-point results as
-     * runColdSweep(), but the prefix is simulated once and each point
-     * forks the warmed GPU state (GpuTop::forkFrom), so an N-point
-     * sweep pays for the prefix once instead of N times.
+     * Sweep explicit @p points with the Warm strategy (the prefix is
+     * simulated once, each point forks the warmed state).
+     *
+     * @deprecated Shim over runSweep(); kept for existing callers,
+     * byte-identical results. New code should build a SweepPlan.
      */
     SweepResult runWarmSweep(const KernelParams &kernel,
                              const PolicySpec &prefix_policy,
@@ -136,9 +175,19 @@ class ExperimentRunner
     const GpuConfig &gpuConfig() const { return gpuCfg_; }
 
   private:
+    /// The model-guided strategy lives in src/autotune (the harness
+    /// dispatches to it from runSweep); it drives warmed forks through
+    /// runSuffix() and the sweep counters directly.
+    friend SweepResult runModelSweep(ExperimentRunner &runner,
+                                     const SweepPlan &plan);
+
     /** Suffix of a sweep point: invocations [first_inv, count). */
     AppRunResult runSuffix(GpuTop &gpu, const KernelParams &kernel,
                            const PolicySpec &policy, int first_inv);
+
+    /** fatal() unless the plan's prefix fits the kernel's schedule. */
+    void checkPrefix(const KernelParams &kernel,
+                     int prefix_invocations) const;
 
     GpuConfig gpuCfg_;
     PowerConfig powerCfg_;
